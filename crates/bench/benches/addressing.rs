@@ -1,0 +1,78 @@
+//! Criterion benches: software AddressLib throughput per addressing
+//! scheme and neighbourhood shape (the Table 2 workloads as wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vip_core::addressing::inter::run_inter;
+use vip_core::addressing::intra::run_intra;
+use vip_core::addressing::segment::{run_segment, SegmentOptions};
+use vip_core::frame::Frame;
+use vip_core::geometry::{Dims, ImageFormat, Point};
+use vip_core::ops::arith::AbsDiff;
+use vip_core::ops::filter::{BoxBlur, Identity};
+use vip_core::ops::segment_ops::HomogeneityCriterion;
+use vip_core::pixel::Pixel;
+
+fn qcif_frame(seed: u8) -> Frame {
+    Frame::from_fn(ImageFormat::Qcif.dims(), |p| {
+        Pixel::from_luma(((p.x * 7 + p.y * 13 + i32::from(seed) * 31) % 256) as u8)
+    })
+}
+
+fn bench_intra(c: &mut Criterion) {
+    let frame = qcif_frame(1);
+    let px = frame.pixel_count() as u64;
+    let mut g = c.benchmark_group("software_intra_qcif");
+    g.throughput(Throughput::Elements(px));
+    g.bench_function("con0_identity", |b| {
+        b.iter(|| run_intra(&frame, &Identity::luma()).unwrap())
+    });
+    g.bench_function("con8_boxblur", |b| {
+        b.iter(|| run_intra(&frame, &BoxBlur::con8()).unwrap())
+    });
+    g.bench_function("sq4_boxblur", |b| {
+        let op = BoxBlur::with_radius(4).unwrap();
+        b.iter(|| run_intra(&frame, &op).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_inter(c: &mut Criterion) {
+    let a = qcif_frame(1);
+    let b2 = qcif_frame(2);
+    let mut g = c.benchmark_group("software_inter_qcif");
+    g.throughput(Throughput::Elements(a.pixel_count() as u64));
+    g.bench_function("absdiff_y", |b| {
+        b.iter(|| run_inter(&a, &b2, &AbsDiff::luma()).unwrap())
+    });
+    g.bench_function("absdiff_yuv", |b| {
+        b.iter(|| run_inter(&a, &b2, &AbsDiff::yuv()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_segment(c: &mut Criterion) {
+    // Flat frame: the segment floods a bounded region.
+    let frame = Frame::filled(Dims::new(128, 128), Pixel::from_luma(100));
+    let mut g = c.benchmark_group("software_segment");
+    for budget in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("flood", budget), &budget, |b, &budget| {
+            let opts = SegmentOptions {
+                max_pixels: Some(budget),
+                ..SegmentOptions::default()
+            };
+            b.iter(|| {
+                run_segment(
+                    &frame,
+                    &[Point::new(64, 64)],
+                    &HomogeneityCriterion::luma(5),
+                    opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intra, bench_inter, bench_segment);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches: engine-simulator cost — analytic vs cycle-stepped
+//! fidelity, and per-call dispatch overhead (the simulator's own
+//! performance, not the modelled FPGA time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vip_core::frame::Frame;
+use vip_core::geometry::Dims;
+use vip_core::ops::arith::AbsDiff;
+use vip_core::ops::filter::BoxBlur;
+use vip_core::pixel::Pixel;
+use vip_engine::{AddressEngine, EngineConfig};
+
+fn frame(dims: Dims) -> Frame {
+    Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 11 + p.y * 3) % 256) as u8))
+}
+
+fn bench_fidelity(c: &mut Criterion) {
+    let dims = Dims::new(64, 64);
+    let f = frame(dims);
+    let mut g = c.benchmark_group("engine_call_64x64");
+    g.throughput(Throughput::Elements(dims.pixel_count() as u64));
+
+    g.bench_function("analytic_intra", |b| {
+        let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
+    });
+    g.bench_function("detailed_intra", |b| {
+        let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
+    });
+    g.bench_function("analytic_inter", |b| {
+        let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        b.iter(|| engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap())
+    });
+    g.bench_function("detailed_inter", |b| {
+        let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        b.iter(|| engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_drain_ablation(c: &mut Criterion) {
+    // Simulator wall time per drain configuration (the modelled-time
+    // ablation lives in the `ablation` binary).
+    let dims = Dims::new(48, 48);
+    let f = frame(dims);
+    let mut g = c.benchmark_group("detailed_sim_drain");
+    for drain in [1u64, 2, 4] {
+        g.bench_function(format!("drain_{drain}cyc"), |b| {
+            let mut cfg = EngineConfig::prototype_detailed();
+            cfg.oim_drain_cycles_per_pixel = drain;
+            let mut engine = AddressEngine::new(cfg).unwrap();
+            b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fidelity, bench_drain_ablation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches: global motion estimation — per-frame-pair cost by
+//! motion model, pyramid construction, and warping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vip_core::frame::Frame;
+use vip_core::geometry::Dims;
+use vip_core::pixel::Pixel;
+use vip_gme::{Estimator, GmeConfig, Motion, MotionModel, Pyramid, SoftwareBackend};
+
+fn textured(dims: Dims) -> Frame {
+    Frame::from_fn(dims, |p| {
+        let x = p.x as f64;
+        let y = p.y as f64;
+        let v = 120.0 + 55.0 * ((x / 6.0).sin() * (y / 8.0).cos())
+            + 35.0 * ((x / 19.0 + y / 23.0).sin());
+        Pixel::from_luma(v.clamp(0.0, 255.0) as u8)
+    })
+}
+
+fn shifted(dims: Dims, dx: f64) -> Frame {
+    Frame::from_fn(dims, |p| {
+        let x = p.x as f64 + dx;
+        let y = p.y as f64;
+        let v = 120.0 + 55.0 * ((x / 6.0).sin() * (y / 8.0).cos())
+            + 35.0 * ((x / 19.0 + y / 23.0).sin());
+        Pixel::from_luma(v.clamp(0.0, 255.0) as u8)
+    })
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let dims = Dims::new(96, 80);
+    let reference = textured(dims);
+    let current = shifted(dims, 2.0);
+    let mut g = c.benchmark_group("gme_estimate_96x80");
+    g.throughput(Throughput::Elements(dims.pixel_count() as u64));
+    for model in [MotionModel::Translational, MotionModel::Affine, MotionModel::Perspective] {
+        g.bench_function(format!("{model}"), |b| {
+            let est = Estimator::new(GmeConfig {
+                model,
+                ..GmeConfig::default()
+            });
+            b.iter(|| {
+                let mut backend = SoftwareBackend::new();
+                est.estimate(&reference, &current, Motion::identity(), &mut backend)
+                    .unwrap()
+            })
+        });
+    }
+    g.bench_function("affine_subsample2", |b| {
+        let est = Estimator::new(GmeConfig {
+            subsample: 2,
+            ..GmeConfig::default()
+        });
+        b.iter(|| {
+            let mut backend = SoftwareBackend::new();
+            est.estimate(&reference, &current, Motion::identity(), &mut backend)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pyramid_and_warp(c: &mut Criterion) {
+    let dims = Dims::new(96, 80);
+    let f = textured(dims);
+    let mut g = c.benchmark_group("gme_components");
+    g.bench_function("pyramid_3_levels", |b| {
+        b.iter(|| {
+            let mut backend = SoftwareBackend::new();
+            Pyramid::build(&f, 3, &mut backend).unwrap()
+        })
+    });
+    g.bench_function("warp_affine", |b| {
+        let m = Motion::similarity(1.02, 0.01, 1.5, -0.5);
+        b.iter(|| vip_gme::warp::warp_frame(&f, &m))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimate, bench_pyramid_and_warp);
+criterion_main!(benches);

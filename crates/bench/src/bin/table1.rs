@@ -1,0 +1,49 @@
+//! Regenerates **Table 1**: the device-utilisation summary and timing of
+//! the AddressEngine prototype on the Virtex-II 2V3000, plus the §5
+//! outlook configuration as a what-if.
+//!
+//! ```text
+//! cargo run -p vip-bench --bin table1
+//! ```
+
+use vip_engine::{EngineConfig, ResourceEstimate};
+
+fn main() {
+    println!("================ Table 1 — prototype implementation =================");
+    let prototype = ResourceEstimate::for_config(&EngineConfig::prototype());
+    println!("{prototype}");
+
+    println!("\npaper (measured, ISE 6)   vs   model:");
+    let rows = [
+        ("Slices", 564u32, prototype.slices),
+        ("Slice Flip Flops", 216, prototype.flip_flops),
+        ("4 input LUTs", 349, prototype.lut4),
+        ("bonded IOBs", 60, prototype.iobs),
+        ("BRAMs", 29, prototype.brams),
+        ("GCLKs", 1, prototype.gclks),
+    ];
+    for (name, paper, model) in rows {
+        println!("  {name:<18} paper {paper:>6}   model {model:>6}");
+    }
+    println!(
+        "  {:<18} paper {:>6}   model {:>6.3}",
+        "fmax (MHz)", 102.208, prototype.fmax_mhz
+    );
+    println!(
+        "\nmeets the 66 MHz PCI operating clock: {}",
+        prototype.meets_clock(66.0)
+    );
+    println!(
+        "BRAM headroom for further addressing schemes (§4.1): {} of {} used",
+        prototype.brams, prototype.device.brams
+    );
+
+    println!("\n====== §5 outlook: segment addressing enabled (model what-if) ======");
+    let outlook = ResourceEstimate::for_config(&EngineConfig::outlook_v2());
+    println!("{outlook}");
+    println!(
+        "\nstill fits the device: {}   still meets 66 MHz: {}",
+        outlook.fits_device(),
+        outlook.meets_clock(66.0)
+    );
+}

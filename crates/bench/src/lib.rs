@@ -1,0 +1,150 @@
+//! # vip-bench — table/figure regeneration harnesses
+//!
+//! Shared plumbing for the binaries that regenerate every table and
+//! figure of the DATE 2005 AddressEngine paper:
+//!
+//! | binary          | regenerates                                        |
+//! |-----------------|----------------------------------------------------|
+//! | `table1`        | Table 1 — device utilisation + timing summary      |
+//! | `table2`        | Table 2 — memory accesses software vs hardware     |
+//! | `table3`        | Table 3 — GME runtimes PM vs FPGA + call counts    |
+//! | `fig1`          | Fig. 1 — the three pixel-addressing schemes        |
+//! | `fig2`          | Fig. 2 — architecture block diagram (textual)      |
+//! | `fig3`          | Fig. 3 — ZBT memory distribution                   |
+//! | `fig4`          | Fig. 4 — worst-case ⊥ neighbourhood, 1-cycle fetch |
+//! | `fig5`          | Fig. 5/6 — PLC pipeline occupancy trace            |
+//! | `speedup_bound` | §1 — the ×30 profiling bound                       |
+//! | `pci_overhead`  | §4.1 — the 12.5 % special-inter overhead           |
+//! | `ablation`      | design-choice sweeps (strip size, overlap, clock)  |
+
+use std::time::Duration;
+
+use vip_gme::{EngineBackend, GmeConfig, SequenceRunner};
+use vip_video::TestSequence;
+
+/// Formats seconds like the paper's Table 3 (`4'35''`).
+#[must_use]
+pub fn fmt_minutes(seconds: f64) -> String {
+    let total = seconds.round() as u64;
+    format!("{}'{:02}''", total / 60, total % 60)
+}
+
+/// Formats a [`Duration`] compactly.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+/// One Table 3 row as produced by a GME run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table3Row {
+    /// Sequence name.
+    pub name: &'static str,
+    /// Frames processed.
+    pub frames: usize,
+    /// Modelled Pentium-M software seconds ("Time in PM").
+    pub pm_seconds: f64,
+    /// Modelled AddressEngine seconds ("Time in FPGA").
+    pub fpga_seconds: f64,
+    /// Intra AddressLib calls.
+    pub intra_calls: u64,
+    /// Inter AddressLib calls.
+    pub inter_calls: u64,
+    /// Wall-clock seconds this harness spent simulating the row.
+    pub harness_seconds: f64,
+    /// Mean translation error against the scripted ground truth (px).
+    pub mean_truth_error: f64,
+}
+
+impl Table3Row {
+    /// Speedup PM / FPGA.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.fpga_seconds == 0.0 {
+            return 0.0;
+        }
+        self.pm_seconds / self.fpga_seconds
+    }
+}
+
+/// Runs one sequence through GME on the engine backend and produces its
+/// Table 3 row. `scale` optionally down-scales the sequence
+/// (width, height, frames) for quick runs.
+///
+/// # Panics
+///
+/// Panics when the GME run fails (synthetic sequences are always valid).
+#[must_use]
+pub fn run_table3_row(seq: &TestSequence, scale: Option<(usize, usize, usize)>) -> Table3Row {
+    let seq = match scale {
+        Some((w, h, f)) => seq.scaled(w, h, f),
+        None => seq.clone(),
+    };
+    let runner = SequenceRunner::new(GmeConfig::default());
+    let mut backend = EngineBackend::prototype();
+    let start = std::time::Instant::now();
+    let report = runner
+        .run(seq.frames(), &mut backend)
+        .expect("synthetic sequence GME must succeed");
+    let harness_seconds = start.elapsed().as_secs_f64();
+
+    let mut err_sum = 0.0;
+    for rec in &report.records {
+        let truth = seq.script().ground_truth(rec.index - 1);
+        let (edx, edy) = rec.relative.translation_part();
+        err_sum += ((edx - truth.dx).powi(2) + (edy - truth.dy).powi(2)).sqrt();
+    }
+    let mean_truth_error = if report.records.is_empty() {
+        0.0
+    } else {
+        err_sum / report.records.len() as f64
+    };
+
+    Table3Row {
+        name: seq.name(),
+        frames: seq.frame_count(),
+        pm_seconds: report.pm_seconds,
+        fpga_seconds: report.backend_seconds,
+        intra_calls: report.tally.intra,
+        inter_calls: report.tally.inter,
+        harness_seconds,
+        mean_truth_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_minutes_matches_paper_style() {
+        assert_eq!(fmt_minutes(275.0), "4'35''");
+        assert_eq!(fmt_minutes(64.0), "1'04''");
+        assert_eq!(fmt_minutes(0.4), "0'00''");
+        assert_eq!(fmt_minutes(745.0), "12'25''");
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50 s");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50 ms");
+    }
+
+    #[test]
+    fn quick_row_produces_sane_numbers() {
+        let seq = TestSequence::movie();
+        let row = run_table3_row(&seq, Some((64, 48, 4)));
+        assert_eq!(row.name, "movie");
+        assert_eq!(row.frames, 4);
+        assert!(row.pm_seconds > 0.0);
+        assert!(row.fpga_seconds > 0.0);
+        assert!(row.speedup() > 1.0, "engine must win: {}", row.speedup());
+        assert!(row.intra_calls > row.inter_calls / 2);
+        assert!(row.mean_truth_error < 2.0, "{}", row.mean_truth_error);
+    }
+}

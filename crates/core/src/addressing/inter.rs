@@ -1,0 +1,207 @@
+//! Inter addressing: *"a result for each pixel position is calculated
+//! using data from two different frames"* (§2.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use vip_core::addressing::inter::run_inter;
+//! use vip_core::frame::Frame;
+//! use vip_core::geometry::Dims;
+//! use vip_core::ops::arith::AbsDiff;
+//! use vip_core::pixel::Pixel;
+//!
+//! let a = Frame::filled(Dims::new(4, 4), Pixel::from_luma(100));
+//! let b = Frame::filled(Dims::new(4, 4), Pixel::from_luma(90));
+//! let result = run_inter(&a, &b, &AbsDiff::luma())?;
+//! assert!(result.output.pixels().iter().all(|p| p.y == 10));
+//! # Ok::<(), vip_core::error::CoreError>(())
+//! ```
+
+use crate::accounting::{AccessCounter, CallDescriptor};
+use crate::addressing::CallReport;
+use crate::error::{CoreError, CoreResult};
+use crate::frame::Frame;
+use crate::ops::InterOp;
+use crate::scan::{scan_points, ScanOrder};
+
+/// Result of an inter call: the output frame plus the execution report.
+#[derive(Debug, Clone)]
+pub struct InterResult {
+    /// The produced frame. Channels outside the kernel's output set carry
+    /// the corresponding values of frame A.
+    pub output: Frame,
+    /// Execution statistics for accounting and dispatch counting.
+    pub report: CallReport,
+}
+
+/// Runs an inter-addressing call over two frames with the default
+/// row-major scan.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimsMismatch`] when the frames differ in size and
+/// [`CoreError::EmptyFrame`] when they have zero area.
+pub fn run_inter(a: &Frame, b: &Frame, op: &impl InterOp) -> CoreResult<InterResult> {
+    run_inter_scanned(a, b, op, ScanOrder::RowMajor)
+}
+
+/// Runs an inter-addressing call with an explicit scan order.
+///
+/// The scan order does not change the result (inter kernels are pointwise)
+/// but determines the access pattern, which the engine simulator's strip
+/// transfer mirrors.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimsMismatch`] when the frames differ in size and
+/// [`CoreError::EmptyFrame`] when they have zero area.
+pub fn run_inter_scanned(
+    a: &Frame,
+    b: &Frame,
+    op: &impl InterOp,
+    scan: ScanOrder,
+) -> CoreResult<InterResult> {
+    if a.dims() != b.dims() {
+        return Err(CoreError::DimsMismatch {
+            left: a.dims(),
+            right: b.dims(),
+        });
+    }
+    if a.dims().is_empty() {
+        return Err(CoreError::EmptyFrame);
+    }
+
+    let descriptor = CallDescriptor::inter(op.input_channels(), op.output_channels());
+    let mut counter = AccessCounter::new();
+    let mut output = a.clone();
+    let per_pixel_reads = descriptor.software_accesses_per_pixel() - 1;
+
+    let mut applied = 0u64;
+    for p in scan_points(a.dims(), scan) {
+        let pa = a.get(p);
+        let pb = b.get(p);
+        counter.read(per_pixel_reads);
+        let result = op.apply(pa, pb);
+        let mut out = pa;
+        out.merge_channels(result, op.output_channels());
+        output.set(p, out);
+        counter.write(1);
+        applied += 1;
+    }
+
+    Ok(InterResult {
+        output,
+        report: CallReport {
+            descriptor,
+            dims: a.dims(),
+            pixels_processed: applied,
+            op_applies: applied,
+            counter,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Dims, Point};
+    use crate::ops::arith::{AbsDiff, Add, ChangeMask, Sub};
+    use crate::pixel::{ChannelSet, Pixel};
+
+    fn frames() -> (Frame, Frame) {
+        let a = Frame::from_fn(Dims::new(4, 3), |p| {
+            Pixel::from_yuv((p.x * 10) as u8, 100, 50).with_alpha(7)
+        });
+        let b = Frame::from_fn(Dims::new(4, 3), |p| {
+            Pixel::from_yuv((p.y * 20) as u8, 90, 60)
+        });
+        (a, b)
+    }
+
+    #[test]
+    fn absdiff_pointwise() {
+        let (a, b) = frames();
+        let r = run_inter(&a, &b, &AbsDiff::luma()).unwrap();
+        for (p, px) in r.output.enumerate() {
+            let expect = ((p.x * 10) as u8).abs_diff((p.y * 20) as u8);
+            assert_eq!(px.y, expect, "at {p}");
+            // Non-output channels come from frame A.
+            assert_eq!(px.u, 100);
+            assert_eq!(px.alpha, 7);
+        }
+    }
+
+    #[test]
+    fn report_matches_table2_model() {
+        let (a, b) = frames();
+        let r = run_inter(&a, &b, &AbsDiff::luma()).unwrap();
+        let model = r.report.access_model();
+        // Empirical counter equals the analytic software model.
+        assert_eq!(r.report.counter.total(), model.software_accesses);
+        assert_eq!(r.report.pixels_processed, 12);
+        assert_eq!(r.report.counter.total(), 12 * 3);
+    }
+
+    #[test]
+    fn yuv_kernel_counts_more_accesses() {
+        let (a, b) = frames();
+        let y = run_inter(&a, &b, &AbsDiff::luma()).unwrap();
+        let yuv = run_inter(&a, &b, &AbsDiff::yuv()).unwrap();
+        assert!(yuv.report.counter.total() > y.report.counter.total());
+        // YUV inter: 2 frames × 3 channels + 1 write = 7/pixel.
+        assert_eq!(yuv.report.counter.total(), 12 * 7);
+    }
+
+    #[test]
+    fn dims_mismatch_rejected() {
+        let a = Frame::new(Dims::new(2, 2));
+        let b = Frame::new(Dims::new(2, 3));
+        assert!(matches!(
+            run_inter(&a, &b, &Add::luma()),
+            Err(CoreError::DimsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_frames_rejected() {
+        let a = Frame::new(Dims::new(0, 0));
+        assert!(matches!(
+            run_inter(&a, &a, &Add::luma()),
+            Err(CoreError::EmptyFrame)
+        ));
+    }
+
+    #[test]
+    fn scan_order_does_not_change_result() {
+        let (a, b) = frames();
+        let base = run_inter(&a, &b, &Sub::yuv()).unwrap().output;
+        for order in ScanOrder::ALL {
+            let r = run_inter_scanned(&a, &b, &Sub::yuv(), order).unwrap();
+            assert_eq!(r.output, base, "{order}");
+        }
+    }
+
+    #[test]
+    fn change_mask_merges_alpha_output() {
+        let (a, b) = frames();
+        let r = run_inter(&a, &b, &ChangeMask::new(15)).unwrap();
+        let px = r.output.get(Point::new(3, 0)); // |30 - 0| = 30 > 15
+        assert_eq!(px.alpha, 1);
+        let px2 = r.output.get(Point::new(0, 0)); // |0 - 0| = 0
+        assert_eq!(px2.alpha, 0);
+        assert_eq!(
+            r.report.descriptor.output_channels,
+            ChannelSet::Y.union(ChannelSet::ALPHA)
+        );
+    }
+
+    #[test]
+    fn descriptor_mode_is_inter() {
+        let (a, b) = frames();
+        let r = run_inter(&a, &b, &Add::luma()).unwrap();
+        assert_eq!(
+            r.report.descriptor.mode,
+            crate::accounting::AddressingMode::Inter
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Pixel operations: the sub-functions executed in stage 3 of the Process
+//! Unit.
+//!
+//! §2.2 of the paper: *"Pixel-level operations may be separated into basic
+//! sub-functions, such as add, sub, mult, grad, in order to achieve
+//! efficiency and flexibility. These sub-functions can be combined to form
+//! more complex operations."*
+//!
+//! Two kernel families exist, mirroring the two hardware-supported
+//! addressing modes:
+//!
+//! * [`InterOp`] — combines one pixel from each of two frames
+//!   (difference pictures, SAD terms, blending, …).
+//! * [`IntraOp`] — maps a neighbourhood [`Window`] of one frame to an
+//!   output pixel (filters, gradients, morphology, …).
+//!
+//! Reductions (SAD totals, histograms) are provided in [`reduce`]
+//! as accumulators layered over the same kernels.
+
+pub mod arith;
+pub mod compose;
+pub mod filter;
+pub mod lut;
+pub mod morph;
+pub mod rank;
+pub mod reduce;
+pub mod segment_ops;
+
+use crate::neighborhood::{Connectivity, Window};
+use crate::pixel::{ChannelSet, Pixel};
+
+/// A kernel for inter addressing: one output pixel from a pair of input
+/// pixels at the same position of two frames.
+///
+/// Implementors should be cheap to call; the executors invoke them once per
+/// pixel. The kernel reports which channels it reads and writes so the
+/// memory-access accounting (Table 2) can attribute traffic exactly.
+pub trait InterOp {
+    /// Short stable kernel name (used in reports and traces).
+    fn name(&self) -> &'static str;
+
+    /// Channels read from *each* input pixel.
+    fn input_channels(&self) -> ChannelSet;
+
+    /// Channels written to the output pixel. Unwritten channels are taken
+    /// from the first input frame.
+    fn output_channels(&self) -> ChannelSet;
+
+    /// Combines one pixel from frame A and one from frame B.
+    fn apply(&self, a: Pixel, b: Pixel) -> Pixel;
+}
+
+/// A kernel for intra addressing: one output pixel from the neighbourhood
+/// window around the corresponding input position.
+pub trait IntraOp {
+    /// Short stable kernel name (used in reports and traces).
+    fn name(&self) -> &'static str;
+
+    /// The neighbourhood shape this kernel needs.
+    fn shape(&self) -> Connectivity;
+
+    /// Channels read from each input sample.
+    fn input_channels(&self) -> ChannelSet;
+
+    /// Channels written to the output pixel. Unwritten channels are taken
+    /// from the window centre.
+    fn output_channels(&self) -> ChannelSet;
+
+    /// Maps a gathered window to the output pixel.
+    fn apply(&self, window: &Window) -> Pixel;
+}
+
+impl<T: InterOp + ?Sized> InterOp for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn input_channels(&self) -> ChannelSet {
+        (**self).input_channels()
+    }
+    fn output_channels(&self) -> ChannelSet {
+        (**self).output_channels()
+    }
+    fn apply(&self, a: Pixel, b: Pixel) -> Pixel {
+        (**self).apply(a, b)
+    }
+}
+
+impl<T: IntraOp + ?Sized> IntraOp for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn shape(&self) -> Connectivity {
+        (**self).shape()
+    }
+    fn input_channels(&self) -> ChannelSet {
+        (**self).input_channels()
+    }
+    fn output_channels(&self) -> ChannelSet {
+        (**self).output_channels()
+    }
+    fn apply(&self, window: &Window) -> Pixel {
+        (**self).apply(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::arith::AbsDiff;
+    use super::filter::BoxBlur;
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        let op: &dyn InterOp = &AbsDiff::luma();
+        assert_eq!(op.name(), "absdiff");
+        let i: &dyn IntraOp = &BoxBlur::con8();
+        assert_eq!(i.shape(), Connectivity::Con8);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let op = AbsDiff::luma();
+        fn takes_generic<O: InterOp>(o: O) -> &'static str {
+            o.name()
+        }
+        assert_eq!(takes_generic(op), "absdiff");
+    }
+}

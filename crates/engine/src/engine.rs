@@ -1,0 +1,511 @@
+//! The AddressEngine: the coprocessor facade the host calls through.
+//!
+//! Mirrors the AddressLib call interface of `vip-core`: the host keeps the
+//! high-level algorithm and dispatches each low-level pixel pass to the
+//! engine (§1: *"all high level parts of the algorithm are executed on the
+//! main CPU and only low level operations are executed on
+//! AddressEngine"*). Every call produces the same pixels as the software
+//! library — verified bit-exactly in detailed mode — plus an
+//! [`EngineReport`] with the call's schedule and memory traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use vip_engine::engine::AddressEngine;
+//! use vip_engine::config::EngineConfig;
+//! use vip_core::frame::Frame;
+//! use vip_core::geometry::Dims;
+//! use vip_core::ops::filter::SobelGradient;
+//! use vip_core::pixel::Pixel;
+//!
+//! # fn main() -> Result<(), vip_engine::error::EngineError> {
+//! let mut engine = AddressEngine::new(EngineConfig::prototype())?;
+//! let frame = Frame::filled(Dims::new(64, 48), Pixel::from_luma(40));
+//! let run = engine.run_intra(&frame, &SobelGradient::new())?;
+//! assert_eq!(run.output.dims(), frame.dims());
+//! assert!(run.report.timeline.total > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use vip_core::accounting::{AccessModel, CallDescriptor};
+use vip_core::addressing::intra::IntraOptions;
+use vip_core::addressing::segment::{SegmentOptions, SegmentResult};
+use vip_core::border::BorderPolicy;
+use vip_core::frame::Frame;
+use vip_core::geometry::Point;
+use vip_core::ops::segment_ops::NeighborCriterion;
+use vip_core::ops::{InterOp, IntraOp};
+use vip_core::pixel::ChannelSet;
+
+use crate::config::{EngineConfig, SimulationFidelity};
+use crate::error::{EngineError, EngineResult};
+use crate::process_unit::{run_inter_detailed, run_intra_detailed};
+use crate::report::{EngineReport, EngineStats};
+use crate::timing::{inter_timeline, intra_timeline, segment_timeline};
+use crate::zbt::{ZbtMemory, ZbtRegion};
+
+/// One completed engine call: the produced frame plus its report.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The produced frame (bit-exact with the software AddressLib).
+    pub output: Frame,
+    /// Schedule, access counts and (in detailed mode) pipeline
+    /// statistics.
+    pub report: EngineReport,
+}
+
+/// One completed segment call on the outlook engine.
+#[derive(Debug, Clone)]
+pub struct EngineSegmentRun {
+    /// The software-identical segment result.
+    pub result: SegmentResult,
+    /// Schedule and access counts.
+    pub report: EngineReport,
+}
+
+/// The simulated AddressEngine coprocessor.
+#[derive(Debug)]
+pub struct AddressEngine {
+    config: EngineConfig,
+    zbt: ZbtMemory,
+    stats: EngineStats,
+    /// Number of stage-trace cycles recorded per detailed call.
+    trace_limit: usize,
+}
+
+impl AddressEngine {
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn new(config: EngineConfig) -> EngineResult<Self> {
+        config.validate()?;
+        let zbt = ZbtMemory::new(&config);
+        Ok(AddressEngine {
+            config,
+            zbt,
+            stats: EngineStats::default(),
+            trace_limit: 0,
+        })
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Accumulated call statistics (the Table 3 counters).
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Enables recording of the first `cycles` stage-occupancy snapshots
+    /// of each detailed call (the fig. 5 trace).
+    pub fn set_trace_limit(&mut self, cycles: usize) {
+        self.trace_limit = cycles;
+    }
+
+    fn check_fits(&self, frame: &Frame) -> EngineResult<()> {
+        if frame.dims().is_empty() {
+            return Err(EngineError::Core(vip_core::error::CoreError::EmptyFrame));
+        }
+        if !self.zbt.fits(frame.dims()) {
+            return Err(EngineError::FrameTooLarge {
+                dims: frame.dims(),
+                required_bytes: frame.pixel_count() * 8,
+                available_bytes: self.config.zbt_bytes() / 3,
+            });
+        }
+        Ok(())
+    }
+
+    fn load_region(&mut self, region: ZbtRegion, frame: &Frame) -> EngineResult<()> {
+        for (i, px) in frame.pixels().iter().enumerate() {
+            self.zbt.write_input_pixel(region, i, *px)?;
+        }
+        Ok(())
+    }
+
+    fn unload_result(&mut self, dims: vip_core::geometry::Dims) -> EngineResult<Frame> {
+        let total = dims.pixel_count();
+        let mut pixels = Vec::with_capacity(total);
+        for i in 0..total {
+            pixels.push(self.zbt.read_result_pixel(i, total)?);
+        }
+        Ok(Frame::from_pixels(dims, pixels)?)
+    }
+
+    /// Runs an intra call with the default clamp border.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::FrameTooLarge`] when the frame exceeds the
+    /// ZBT capacity, and propagates AddressLib errors.
+    pub fn run_intra<O: IntraOp>(&mut self, frame: &Frame, op: &O) -> EngineResult<EngineRun> {
+        self.run_intra_with(frame, op, BorderPolicy::Clamp)
+    }
+
+    /// Runs an intra call with an explicit border policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressEngine::run_intra`].
+    pub fn run_intra_with<O: IntraOp>(
+        &mut self,
+        frame: &Frame,
+        op: &O,
+        border: BorderPolicy,
+    ) -> EngineResult<EngineRun> {
+        self.check_fits(frame)?;
+        let descriptor =
+            CallDescriptor::intra(op.shape(), op.input_channels(), op.output_channels());
+        let timeline = intra_timeline(frame.dims(), op.shape().radius(), &self.config);
+        let access_model = AccessModel::for_call(&descriptor, frame.dims());
+
+        // The hardware IIM replicates edge lines (clamp); other border
+        // policies exist only in the software library. Refuse rather
+        // than silently diverge.
+        if self.config.fidelity == SimulationFidelity::Detailed
+            && !matches!(border, BorderPolicy::Clamp)
+            && op.shape().radius() > 0
+        {
+            return Err(EngineError::UnsupportedCapability {
+                capability: "non-clamp border policies in the cycle-stepped datapath",
+            });
+        }
+        let (output, hardware_accesses, processing) = match self.config.fidelity {
+            SimulationFidelity::Detailed => {
+                self.load_region(ZbtRegion::InputA, frame)?;
+                self.zbt.reset_stats();
+                let stats = run_intra_detailed(
+                    &mut self.zbt,
+                    frame.dims(),
+                    op,
+                    border,
+                    &self.config,
+                    self.trace_limit,
+                )?;
+                let hw = self.zbt.pixel_access_cycles();
+                (self.unload_result(frame.dims())?, hw, Some(stats))
+            }
+            SimulationFidelity::Analytic => {
+                let result = vip_core::addressing::intra::run_intra_with(
+                    frame,
+                    op,
+                    IntraOptions {
+                        border,
+                        ..IntraOptions::default()
+                    },
+                )?;
+                (result.output, access_model.hardware_accesses, None)
+            }
+        };
+
+        let report = EngineReport {
+            descriptor,
+            timeline,
+            access_model,
+            hardware_accesses,
+            processing,
+        };
+        self.stats.record(&report);
+        Ok(EngineRun { output, report })
+    }
+
+    /// Runs an inter call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::FrameTooLarge`] for oversized frames and
+    /// propagates AddressLib errors (e.g. dimension mismatch).
+    pub fn run_inter<O: InterOp>(
+        &mut self,
+        a: &Frame,
+        b: &Frame,
+        op: &O,
+    ) -> EngineResult<EngineRun> {
+        self.check_fits(a)?;
+        if a.dims() != b.dims() {
+            return Err(EngineError::Core(vip_core::error::CoreError::DimsMismatch {
+                left: a.dims(),
+                right: b.dims(),
+            }));
+        }
+        let descriptor = CallDescriptor::inter(op.input_channels(), op.output_channels());
+        let timeline = inter_timeline(a.dims(), &self.config);
+        let access_model = AccessModel::for_call(&descriptor, a.dims());
+
+        let (output, hardware_accesses, processing) = match self.config.fidelity {
+            SimulationFidelity::Detailed => {
+                self.load_region(ZbtRegion::InputA, a)?;
+                self.load_region(ZbtRegion::InputB, b)?;
+                self.zbt.reset_stats();
+                let stats = run_inter_detailed(
+                    &mut self.zbt,
+                    a.dims(),
+                    op,
+                    &self.config,
+                    self.trace_limit,
+                )?;
+                let hw = self.zbt.pixel_access_cycles();
+                (self.unload_result(a.dims())?, hw, Some(stats))
+            }
+            SimulationFidelity::Analytic => {
+                let result = vip_core::addressing::inter::run_inter(a, b, op)?;
+                (result.output, access_model.hardware_accesses, None)
+            }
+        };
+
+        let report = EngineReport {
+            descriptor,
+            timeline,
+            access_model,
+            hardware_accesses,
+            processing,
+        };
+        self.stats.record(&report);
+        Ok(EngineRun { output, report })
+    }
+
+    /// Runs a segment-addressing call — only available on an engine
+    /// configured with the §5 outlook capability
+    /// ([`EngineConfig::outlook_v2`]); the DATE 2005 prototype rejects it
+    /// (*"Segment addressing is planned for future versions"*, §6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedCapability`] on a v1 engine,
+    /// [`EngineError::FrameTooLarge`] for oversized frames, and
+    /// propagates AddressLib errors (no seeds, out-of-bounds seeds).
+    pub fn run_segment<C: NeighborCriterion>(
+        &mut self,
+        frame: &Frame,
+        seeds: &[Point],
+        criterion: &C,
+        options: SegmentOptions,
+    ) -> EngineResult<EngineSegmentRun> {
+        if !self.config.segment_capable {
+            return Err(EngineError::UnsupportedCapability {
+                capability: "segment addressing (planned for future versions, §6)",
+            });
+        }
+        self.check_fits(frame)?;
+        let result =
+            vip_core::addressing::segment::run_segment(frame, seeds, criterion, options)?;
+        let descriptor = CallDescriptor::segment(
+            options.connectivity,
+            ChannelSet::Y,
+            ChannelSet::ALPHA.union(ChannelSet::AUX),
+        );
+        let timeline = segment_timeline(
+            frame.dims(),
+            result.report.pixels_processed,
+            &self.config,
+        );
+        let access_model = AccessModel::for_call(&descriptor, frame.dims());
+        let report = EngineReport {
+            descriptor,
+            timeline,
+            access_model,
+            // Segment hardware traffic: one read + one write cycle per
+            // *segment* pixel plus the full-frame transfer accounted in
+            // the timeline.
+            hardware_accesses: 2 * result.report.pixels_processed,
+            processing: None,
+        };
+        self.stats.record(&report);
+        Ok(EngineSegmentRun { result, report })
+    }
+
+    /// The fig. 3 memory map of the engine's ZBT for a given frame size.
+    #[must_use]
+    pub fn memory_map(&self, dims: vip_core::geometry::Dims) -> crate::zbt::MemoryMap {
+        self.zbt.memory_map(dims, self.config.strip_lines)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_core::pixel::Pixel;
+    use vip_core::geometry::Dims;
+    use vip_core::ops::arith::AbsDiff;
+    use vip_core::ops::filter::{BoxBlur, SobelGradient};
+    use vip_core::ops::morph::Dilate;
+    use vip_core::ops::segment_ops::HomogeneityCriterion;
+
+    fn frame(dims: Dims) -> Frame {
+        Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 5 + p.y * 11) % 256) as u8))
+    }
+
+    #[test]
+    fn analytic_output_matches_software() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = frame(Dims::new(48, 32));
+        let run = e.run_intra(&f, &BoxBlur::con8()).unwrap();
+        let sw = vip_core::addressing::intra::run_intra(&f, &BoxBlur::con8()).unwrap();
+        assert_eq!(run.output, sw.output);
+        assert!(run.report.processing.is_none());
+    }
+
+    #[test]
+    fn detailed_output_matches_software() {
+        let mut e = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        let f = frame(Dims::new(24, 16));
+        let run = e.run_intra(&f, &SobelGradient::new()).unwrap();
+        let sw = vip_core::addressing::intra::run_intra(&f, &SobelGradient::new()).unwrap();
+        assert_eq!(run.output, sw.output);
+        let stats = run.report.processing.expect("detailed stats");
+        assert_eq!(stats.pixels, 24 * 16);
+    }
+
+    #[test]
+    fn detailed_and_analytic_hardware_accesses_agree() {
+        let f = frame(Dims::new(20, 20));
+        let mut det = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        let mut ana = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let rd = det.run_intra(&f, &Dilate::con8()).unwrap();
+        let ra = ana.run_intra(&f, &Dilate::con8()).unwrap();
+        assert_eq!(rd.report.hardware_accesses, ra.report.hardware_accesses);
+        assert_eq!(rd.report.hardware_accesses, 2 * 400);
+    }
+
+    #[test]
+    fn inter_both_modes_match() {
+        let a = frame(Dims::new(16, 16));
+        let b = frame(Dims::new(16, 16));
+        let sw = vip_core::addressing::inter::run_inter(&a, &b, &AbsDiff::luma()).unwrap();
+        for cfg in [EngineConfig::prototype(), EngineConfig::prototype_detailed()] {
+            let mut e = AddressEngine::new(cfg).unwrap();
+            let run = e.run_inter(&a, &b, &AbsDiff::luma()).unwrap();
+            assert_eq!(run.output, sw.output);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = frame(Dims::new(32, 32));
+        e.run_intra(&f, &BoxBlur::con8()).unwrap();
+        e.run_intra(&f, &Dilate::con8()).unwrap();
+        e.run_inter(&f, &f, &AbsDiff::luma()).unwrap();
+        let s = e.stats();
+        assert_eq!(s.intra_calls, 2);
+        assert_eq!(s.inter_calls, 1);
+        assert!(s.busy_seconds > 0.0);
+        e.reset_stats();
+        assert_eq!(e.stats().total_calls(), 0);
+    }
+
+    #[test]
+    fn v1_rejects_segment_calls() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = frame(Dims::new(8, 8));
+        let err = e.run_segment(
+            &f,
+            &[Point::new(4, 4)],
+            &HomogeneityCriterion::luma(10),
+            SegmentOptions::default(),
+        );
+        assert!(matches!(err, Err(EngineError::UnsupportedCapability { .. })));
+    }
+
+    #[test]
+    fn outlook_engine_runs_segment_calls() {
+        let mut e = AddressEngine::new(EngineConfig::outlook_v2()).unwrap();
+        let f = frame(Dims::new(8, 8));
+        let run = e
+            .run_segment(
+                &f,
+                &[Point::new(4, 4)],
+                &HomogeneityCriterion::luma(255),
+                SegmentOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(run.result.segment.len(), 64, "tolerance 255 floods the frame");
+        assert_eq!(e.stats().segment_calls, 1);
+        // Matches the pure software path exactly.
+        let sw = vip_core::addressing::segment::run_segment(
+            &f,
+            &[Point::new(4, 4)],
+            &HomogeneityCriterion::luma(255),
+            SegmentOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.result.output, sw.output);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = Frame::new(Dims::new(1024, 1024));
+        assert!(matches!(
+            e.run_intra(&f, &BoxBlur::con8()),
+            Err(EngineError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = Frame::new(Dims::new(0, 0));
+        assert!(e.run_intra(&f, &BoxBlur::con8()).is_err());
+    }
+
+    #[test]
+    fn inter_dims_mismatch_rejected() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let a = frame(Dims::new(8, 8));
+        let b = frame(Dims::new(8, 9));
+        assert!(e.run_inter(&a, &b, &AbsDiff::luma()).is_err());
+    }
+
+    #[test]
+    fn trace_limit_propagates() {
+        let mut e = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        e.set_trace_limit(20);
+        let f = frame(Dims::new(8, 8));
+        let run = e.run_intra(&f, &BoxBlur::con8()).unwrap();
+        assert_eq!(run.report.processing.unwrap().trace.len(), 20);
+    }
+
+    #[test]
+    fn memory_map_accessible() {
+        let e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let map = e.memory_map(Dims::new(352, 288));
+        assert_eq!(map.regions.len(), 4);
+    }
+
+    #[test]
+    fn detailed_mode_rejects_non_clamp_borders() {
+        let mut e = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        let f = frame(Dims::new(8, 8));
+        let err = e.run_intra_with(&f, &BoxBlur::con8(), BorderPolicy::Mirror);
+        assert!(matches!(err, Err(EngineError::UnsupportedCapability { .. })));
+        // CON_0 kernels have no border accesses: any policy is fine.
+        assert!(e
+            .run_intra_with(&f, &vip_core::ops::filter::Identity::luma(), BorderPolicy::Mirror)
+            .is_ok());
+        // The analytic engine supports every policy (it runs the software path).
+        let mut a = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        assert!(a.run_intra_with(&f, &BoxBlur::con8(), BorderPolicy::Mirror).is_ok());
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let mut cfg = EngineConfig::prototype();
+        cfg.strip_lines = 0;
+        assert!(AddressEngine::new(cfg).is_err());
+    }
+}

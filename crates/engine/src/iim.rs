@@ -1,0 +1,382 @@
+//! The IIM — input intermediate memory.
+//!
+//! §3.1: the IIM sits at the input of the processing unit *"because there
+//! is a successive pixel reuse at this point of the system. Thus loading
+//! the complete neighbourhood for each pixel is avoided. Furthermore …
+//! the whole neighbourhood can be obtained in only one cycle, even in the
+//! worst case with perpendicular neighbourhood and scan direction"*
+//! (fig. 4). It holds sixteen image lines in sixteen line blocks of two
+//! FPGA-BRAM banks each (lo/hi pixel words) — 32 embedded memory blocks.
+//!
+//! For inter addressing *"the IIM will take the form of two FIFOs, one for
+//! every input image, with 8 lines each"* (§3.3); the engine models that
+//! by instantiating two half-sized IIMs.
+//!
+//! # Examples
+//!
+//! ```
+//! use vip_engine::iim::Iim;
+//! use vip_core::pixel::Pixel;
+//!
+//! let mut iim = Iim::new(16, 8);
+//! iim.load_line(0, &vec![Pixel::from_luma(7); 8]);
+//! assert!(iim.has_line(0));
+//! assert_eq!(iim.resident_lines(), 1);
+//! ```
+
+use std::collections::VecDeque;
+
+use vip_core::border::BorderPolicy;
+use vip_core::geometry::{Dims, Point};
+use vip_core::neighborhood::Connectivity;
+use vip_core::pixel::Pixel;
+
+/// One resident image line.
+#[derive(Debug, Clone)]
+struct LineBlock {
+    line_no: usize,
+    pixels: Vec<Pixel>,
+}
+
+/// The input intermediate memory: a ring of line blocks.
+#[derive(Debug, Clone)]
+pub struct Iim {
+    capacity_lines: usize,
+    width: usize,
+    lines: VecDeque<LineBlock>,
+    /// BRAM read cycles spent delivering neighbourhoods (one per window,
+    /// §3.1's single-cycle parallel fetch).
+    window_fetches: u64,
+    /// Lines loaded from the ZBT since construction.
+    lines_loaded: u64,
+    /// Pixel-cycles the consumer stalled waiting for lines.
+    stall_cycles: u64,
+}
+
+impl Iim {
+    /// Creates an IIM holding up to `capacity_lines` lines of `width`
+    /// pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity_lines` or `width` is zero.
+    #[must_use]
+    pub fn new(capacity_lines: usize, width: usize) -> Self {
+        assert!(capacity_lines > 0, "IIM needs at least one line block");
+        assert!(width > 0, "IIM line width must be positive");
+        Iim {
+            capacity_lines,
+            width,
+            lines: VecDeque::new(),
+            window_fetches: 0,
+            lines_loaded: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Line capacity (16 in the prototype).
+    #[must_use]
+    pub const fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    /// Number of FPGA BRAM blocks this IIM occupies: two banks (lo/hi
+    /// pixel words) per line block.
+    #[must_use]
+    pub const fn bram_blocks(&self) -> usize {
+        2 * self.capacity_lines
+    }
+
+    /// FULL signal: no free line block.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.lines.len() == self.capacity_lines
+    }
+
+    /// EMPTY signal: no resident line.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether image line `line_no` is resident.
+    #[must_use]
+    pub fn has_line(&self, line_no: usize) -> bool {
+        self.lines.iter().any(|l| l.line_no == line_no)
+    }
+
+    /// The oldest resident line number (next eviction victim), if any.
+    #[must_use]
+    pub fn oldest_line(&self) -> Option<usize> {
+        self.lines.front().map(|l| l.line_no)
+    }
+
+    /// Loads one image line, evicting the oldest when full (FIFO
+    /// behaviour, §3.3). Pixels are cropped/padded to the IIM width.
+    pub fn load_line(&mut self, line_no: usize, pixels: &[Pixel]) {
+        if self.is_full() {
+            self.lines.pop_front();
+        }
+        let mut row = pixels.to_vec();
+        row.resize(self.width, Pixel::default());
+        self.lines.push_back(LineBlock {
+            line_no,
+            pixels: row,
+        });
+        self.lines_loaded += 1;
+    }
+
+    /// Records one stalled pixel-cycle (image-level controller halting
+    /// the PLC while a needed line is in flight, §3.3).
+    pub fn record_stall(&mut self) {
+        self.stall_cycles += 1;
+    }
+
+    /// Whether all lines a `shape`-window at `centre` needs (after
+    /// clamping to the frame of `dims`) are resident.
+    #[must_use]
+    pub fn window_ready(&self, centre: Point, shape: Connectivity, dims: Dims) -> bool {
+        let r = shape.radius() as i32;
+        (-r..=r).all(|dy| {
+            let line = (centre.y + dy).clamp(0, dims.height as i32 - 1) as usize;
+            self.has_line(line)
+        })
+    }
+
+    /// Fetches the full neighbourhood window around `centre` in a single
+    /// memory cycle — every line block delivers its column in parallel.
+    ///
+    /// Returns `None` (a stall) when a needed line is not resident.
+    /// Horizontal border accesses resolve via `border`; vertical accesses
+    /// clamp to the frame like the hardware re-delivering edge lines.
+    #[must_use]
+    pub fn fetch_window(
+        &mut self,
+        centre: Point,
+        shape: Connectivity,
+        dims: Dims,
+        border: BorderPolicy,
+    ) -> Option<Vec<(Point, Pixel)>> {
+        if !self.window_ready(centre, shape, dims) {
+            self.record_stall();
+            return None;
+        }
+        self.window_fetches += 1;
+        let mut out = Vec::with_capacity(shape.offsets().len());
+        for off in shape.offsets() {
+            let line = (centre.y + off.y).clamp(0, dims.height as i32 - 1) as usize;
+            let row = &self
+                .lines
+                .iter()
+                .find(|l| l.line_no == line)
+                .expect("window_ready checked residency")
+                .pixels;
+            let x = centre.x + off.x;
+            let px = if (0..dims.width as i32).contains(&x) {
+                row[x as usize]
+            } else {
+                match border.map_point(dims, Point::new(x, centre.y + off.y)) {
+                    Some(q) if self.has_line(q.y as usize) => {
+                        let qrow = &self
+                            .lines
+                            .iter()
+                            .find(|l| l.line_no == q.y as usize)
+                            .expect("checked")
+                            .pixels;
+                        qrow[q.x as usize]
+                    }
+                    _ => match border {
+                        BorderPolicy::Constant(c) => c,
+                        BorderPolicy::Skip => continue,
+                        // Clamp fallback within the resident line.
+                        _ => row[(x.clamp(0, dims.width as i32 - 1)) as usize],
+                    },
+                }
+            };
+            out.push((off, px));
+        }
+        Some(out)
+    }
+
+    /// Single-cycle window fetches served so far.
+    #[must_use]
+    pub const fn window_fetches(&self) -> u64 {
+        self.window_fetches
+    }
+
+    /// Lines loaded from the ZBT so far.
+    #[must_use]
+    pub const fn lines_loaded(&self) -> u64 {
+        self.lines_loaded
+    }
+
+    /// Pixel-cycles stalled on missing lines.
+    #[must_use]
+    pub const fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(v: u8, w: usize) -> Vec<Pixel> {
+        (0..w).map(|x| Pixel::from_luma(v + x as u8)).collect()
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut iim = Iim::new(3, 4);
+        for l in 0..4 {
+            iim.load_line(l, &line(l as u8 * 10, 4));
+        }
+        assert!(!iim.has_line(0), "oldest line evicted");
+        assert!(iim.has_line(1) && iim.has_line(3));
+        assert!(iim.is_full());
+        assert_eq!(iim.lines_loaded(), 4);
+    }
+
+    #[test]
+    fn full_empty_signals() {
+        let mut iim = Iim::new(2, 2);
+        assert!(iim.is_empty());
+        iim.load_line(0, &line(0, 2));
+        assert!(!iim.is_empty() && !iim.is_full());
+        iim.load_line(1, &line(0, 2));
+        assert!(iim.is_full());
+    }
+
+    #[test]
+    fn bram_blocks_match_prototype() {
+        // 16 line blocks × 2 banks = 32 BRAMs for the IIM (§3.1).
+        let iim = Iim::new(16, 352);
+        assert_eq!(iim.bram_blocks(), 32);
+    }
+
+    #[test]
+    fn window_fetch_one_cycle_when_resident() {
+        let dims = Dims::new(4, 4);
+        let mut iim = Iim::new(16, 4);
+        for l in 0..4 {
+            iim.load_line(l, &line(l as u8 * 10, 4));
+        }
+        let w = iim
+            .fetch_window(Point::new(1, 1), Connectivity::Con8, dims, BorderPolicy::Clamp)
+            .expect("all lines resident");
+        assert_eq!(w.len(), 9);
+        assert_eq!(iim.window_fetches(), 1);
+        // Sample correctness: offset (1,-1) → line 0, x 2 → 0·10 + 2.
+        let s = w.iter().find(|(o, _)| *o == Point::new(1, -1)).unwrap().1;
+        assert_eq!(s.y, 2);
+    }
+
+    #[test]
+    fn missing_line_stalls() {
+        let dims = Dims::new(4, 4);
+        let mut iim = Iim::new(16, 4);
+        iim.load_line(0, &line(0, 4));
+        // Window at line 1 needs lines 0..=2.
+        assert!(iim
+            .fetch_window(Point::new(1, 1), Connectivity::Con8, dims, BorderPolicy::Clamp)
+            .is_none());
+        assert_eq!(iim.stall_cycles(), 1);
+        assert_eq!(iim.window_fetches(), 0);
+    }
+
+    #[test]
+    fn top_border_clamps_lines() {
+        let dims = Dims::new(4, 4);
+        let mut iim = Iim::new(16, 4);
+        iim.load_line(0, &line(0, 4));
+        iim.load_line(1, &line(10, 4));
+        // Centre on line 0: offsets dy=-1 clamp to line 0 (resident) — ready.
+        let w = iim
+            .fetch_window(Point::new(1, 0), Connectivity::Con8, dims, BorderPolicy::Clamp)
+            .expect("clamped rows resident");
+        let nw = w.iter().find(|(o, _)| *o == Point::new(-1, -1)).unwrap().1;
+        assert_eq!(nw.y, 0, "clamped to line 0, x 0");
+    }
+
+    #[test]
+    fn horizontal_border_clamp() {
+        let dims = Dims::new(4, 2);
+        let mut iim = Iim::new(16, 4);
+        iim.load_line(0, &line(0, 4));
+        iim.load_line(1, &line(10, 4));
+        let w = iim
+            .fetch_window(Point::new(0, 1), Connectivity::Con8, dims, BorderPolicy::Clamp)
+            .unwrap();
+        let west = w.iter().find(|(o, _)| *o == Point::new(-1, 0)).unwrap().1;
+        assert_eq!(west.y, 10, "clamped to x 0 of line 1");
+    }
+
+    #[test]
+    fn horizontal_border_constant_and_skip() {
+        let dims = Dims::new(3, 1);
+        let mut iim = Iim::new(4, 3);
+        iim.load_line(0, &line(5, 3));
+        let w = iim
+            .fetch_window(
+                Point::new(0, 0),
+                Connectivity::Con8,
+                dims,
+                BorderPolicy::Constant(Pixel::from_luma(99)),
+            )
+            .unwrap();
+        let west = w.iter().find(|(o, _)| *o == Point::new(-1, 0)).unwrap().1;
+        assert_eq!(west.y, 99);
+        let w2 = iim
+            .fetch_window(Point::new(0, 0), Connectivity::Con8, dims, BorderPolicy::Skip)
+            .unwrap();
+        assert!(w2.len() < 9, "skip drops out-of-frame samples");
+    }
+
+    #[test]
+    fn window_matches_core_gather_in_interior() {
+        // The IIM fetch must agree with the software Window gather.
+        use vip_core::frame::Frame;
+        use vip_core::neighborhood::Window;
+        let dims = Dims::new(6, 6);
+        let f = Frame::from_fn(dims, |p| Pixel::from_luma((p.y * 6 + p.x) as u8));
+        let mut iim = Iim::new(16, 6);
+        for l in 0..6 {
+            iim.load_line(l, f.line(l));
+        }
+        for y in 0..6 {
+            for x in 0..6 {
+                let c = Point::new(x, y);
+                let hw = iim
+                    .fetch_window(c, Connectivity::Con8, dims, BorderPolicy::Clamp)
+                    .unwrap();
+                let sw = Window::gather(&f, c, Connectivity::Con8, BorderPolicy::Clamp);
+                for (off, px) in hw {
+                    assert_eq!(Some(px), sw.sample(off), "at {c} offset {off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_capacity_panics() {
+        let _ = Iim::new(0, 4);
+    }
+
+    #[test]
+    fn short_line_padded() {
+        let mut iim = Iim::new(2, 4);
+        iim.load_line(0, &line(1, 2)); // shorter than width
+        let dims = Dims::new(4, 1);
+        let w = iim
+            .fetch_window(Point::new(3, 0), Connectivity::Con0, dims, BorderPolicy::Clamp)
+            .unwrap();
+        assert_eq!(w[0].1, Pixel::default(), "padded region is default pixels");
+    }
+}

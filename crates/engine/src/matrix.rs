@@ -1,0 +1,265 @@
+//! The matrix register: the neighbourhood storage filled by stage 2 of
+//! the Process Unit.
+//!
+//! §3.5: *"In the matrix register is stored the whole neighbourhood that
+//! will be input for the next stage. These instructions are divided into
+//! two sets: LOAD instructions and SHIFT instructions depending on whether
+//! they fill the whole matrix from scratch or whether they only add some
+//! pixels shifting the pixels that were already in the matrix."*
+//!
+//! # Examples
+//!
+//! ```
+//! use vip_engine::matrix::MatrixRegister;
+//! use vip_core::neighborhood::Connectivity;
+//! use vip_core::pixel::Pixel;
+//!
+//! let mut m = MatrixRegister::new(Connectivity::Con8);
+//! let col = vec![Pixel::from_luma(1); 3];
+//! m.load(vec![col.clone(), col.clone(), col]);
+//! assert!(m.is_valid());
+//! ```
+
+use vip_core::geometry::Point;
+use vip_core::neighborhood::Connectivity;
+use vip_core::pixel::Pixel;
+
+/// The matrix register: a `(2r+1) × (2r+1)` pixel window stored as
+/// columns, supporting full LOADs and incremental SHIFTs.
+#[derive(Debug, Clone)]
+pub struct MatrixRegister {
+    shape: Connectivity,
+    side: usize,
+    /// Columns left→right, each `side` pixels top→bottom.
+    columns: Vec<Vec<Pixel>>,
+    valid: bool,
+    loads: u64,
+    shifts: u64,
+}
+
+impl MatrixRegister {
+    /// Creates an invalid (empty) register for `shape`.
+    #[must_use]
+    pub fn new(shape: Connectivity) -> Self {
+        let side = 2 * shape.radius() + 1;
+        MatrixRegister {
+            shape,
+            side,
+            columns: Vec::new(),
+            valid: false,
+            loads: 0,
+            shifts: 0,
+        }
+    }
+
+    /// The window shape.
+    #[must_use]
+    pub const fn shape(&self) -> Connectivity {
+        self.shape
+    }
+
+    /// Window side length.
+    #[must_use]
+    pub const fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Whether the register currently holds a complete window.
+    #[must_use]
+    pub const fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// LOAD: fills the whole matrix from scratch with `columns`
+    /// (left→right, each top→bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column count or any column height differs from the
+    /// window side.
+    pub fn load(&mut self, columns: Vec<Vec<Pixel>>) {
+        assert_eq!(columns.len(), self.side, "LOAD needs {} columns", self.side);
+        for c in &columns {
+            assert_eq!(c.len(), self.side, "column height must be {}", self.side);
+        }
+        self.columns = columns;
+        self.valid = true;
+        self.loads += 1;
+    }
+
+    /// SHIFT: advances the window one pixel in the scan direction by
+    /// dropping the leftmost column and appending `new_column` on the
+    /// right — the pixel-reuse path that makes the IIM worthwhile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register is invalid or the column height is wrong.
+    pub fn shift(&mut self, new_column: Vec<Pixel>) {
+        assert!(self.valid, "SHIFT requires a previously LOADed matrix");
+        assert_eq!(new_column.len(), self.side, "column height must be {}", self.side);
+        self.columns.remove(0);
+        self.columns.push(new_column);
+        self.shifts += 1;
+    }
+
+    /// Invalidates the register (line turn: the next pixel needs a LOAD).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.columns.clear();
+    }
+
+    /// Reads the window as `(offset, pixel)` samples restricted to the
+    /// register's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register is invalid.
+    #[must_use]
+    pub fn samples(&self) -> Vec<(Point, Pixel)> {
+        assert!(self.valid, "reading an invalid matrix register");
+        let r = self.shape.radius() as i32;
+        self.shape
+            .offsets()
+            .into_iter()
+            .map(|off| {
+                let col = (off.x + r) as usize;
+                let row = (off.y + r) as usize;
+                (off, self.columns[col][row])
+            })
+            .collect()
+    }
+
+    /// The centre pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register is invalid.
+    #[must_use]
+    pub fn centre(&self) -> Pixel {
+        let r = self.shape.radius();
+        assert!(self.valid, "reading an invalid matrix register");
+        self.columns[r][r]
+    }
+
+    /// LOAD instructions executed.
+    #[must_use]
+    pub const fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// SHIFT instructions executed.
+    #[must_use]
+    pub const fn shifts(&self) -> u64 {
+        self.shifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[u8]) -> Vec<Pixel> {
+        vals.iter().map(|&v| Pixel::from_luma(v)).collect()
+    }
+
+    #[test]
+    fn load_makes_valid() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        assert!(!m.is_valid());
+        m.load(vec![col(&[1, 2, 3]), col(&[4, 5, 6]), col(&[7, 8, 9])]);
+        assert!(m.is_valid());
+        assert_eq!(m.centre().y, 5);
+        assert_eq!(m.loads(), 1);
+        assert_eq!(m.side(), 3);
+    }
+
+    #[test]
+    fn samples_map_offsets_correctly() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        m.load(vec![col(&[1, 2, 3]), col(&[4, 5, 6]), col(&[7, 8, 9])]);
+        let s = m.samples();
+        let get = |dx: i32, dy: i32| {
+            s.iter()
+                .find(|(o, _)| *o == Point::new(dx, dy))
+                .expect("offset present")
+                .1
+                 .y
+        };
+        assert_eq!(get(-1, -1), 1); // left column, top
+        assert_eq!(get(-1, 1), 3);
+        assert_eq!(get(1, -1), 7);
+        assert_eq!(get(0, 0), 5);
+    }
+
+    #[test]
+    fn shift_advances_window() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        m.load(vec![col(&[1, 2, 3]), col(&[4, 5, 6]), col(&[7, 8, 9])]);
+        m.shift(col(&[10, 11, 12]));
+        assert_eq!(m.centre().y, 8, "old right column is the new centre");
+        let s = m.samples();
+        let right_top = s
+            .iter()
+            .find(|(o, _)| *o == Point::new(1, -1))
+            .unwrap()
+            .1
+             .y;
+        assert_eq!(right_top, 10);
+        assert_eq!(m.shifts(), 1);
+    }
+
+    #[test]
+    fn shift_equals_reload() {
+        // A LOAD at x+1 and a SHIFT from x must agree — the hardware's
+        // pixel-reuse invariant.
+        let c0 = col(&[1, 2, 3]);
+        let c1 = col(&[4, 5, 6]);
+        let c2 = col(&[7, 8, 9]);
+        let c3 = col(&[10, 11, 12]);
+        let mut shifted = MatrixRegister::new(Connectivity::Con8);
+        shifted.load(vec![c0, c1.clone(), c2.clone()]);
+        shifted.shift(c3.clone());
+        let mut loaded = MatrixRegister::new(Connectivity::Con8);
+        loaded.load(vec![c1, c2, c3]);
+        assert_eq!(shifted.samples(), loaded.samples());
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        m.load(vec![col(&[1, 2, 3]); 3]);
+        m.invalidate();
+        assert!(!m.is_valid());
+    }
+
+    #[test]
+    fn con0_matrix_is_single_pixel() {
+        let mut m = MatrixRegister::new(Connectivity::Con0);
+        m.load(vec![col(&[42])]);
+        assert_eq!(m.centre().y, 42);
+        assert_eq!(m.samples().len(), 1);
+    }
+
+    #[test]
+    fn con4_samples_restricted_to_cross() {
+        let mut m = MatrixRegister::new(Connectivity::Con4);
+        m.load(vec![col(&[1, 2, 3]), col(&[4, 5, 6]), col(&[7, 8, 9])]);
+        let s = m.samples();
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|(o, _)| o.x == 0 || o.y == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "LOAD needs")]
+    fn bad_load_width_panics() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        m.load(vec![col(&[1, 2, 3]); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "SHIFT requires")]
+    fn shift_invalid_panics() {
+        let mut m = MatrixRegister::new(Connectivity::Con8);
+        m.shift(col(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,145 @@
+//! The control FSM: generates the per-pixel instruction bundles.
+//!
+//! §3.2: *"The control FSM generates the set of instructions to be
+//! performed in every pixel-cycle."* For a sweep over a frame it emits one
+//! [`PixelBundle`] per pixel: a LOAD at every scan-line start (the matrix
+//! register must refill from scratch) and SHIFTs while sliding along the
+//! line.
+
+use vip_core::geometry::{Dims, Point};
+use vip_core::scan::{scan_points, ScanOrder, ScanPoints};
+
+use crate::plc::instructions::{FetchKind, PixelBundle};
+
+/// Instruction generator for one call's sweep.
+#[derive(Debug, Clone)]
+pub struct ControlFsm {
+    points: ScanPoints,
+    order: ScanOrder,
+    issued: usize,
+    prev: Option<Point>,
+}
+
+impl ControlFsm {
+    /// Creates the FSM for a sweep of `dims` in `order`.
+    #[must_use]
+    pub fn new(dims: Dims, order: ScanOrder) -> Self {
+        ControlFsm {
+            points: scan_points(dims, order),
+            order,
+            issued: 0,
+            prev: None,
+        }
+    }
+
+    /// Number of bundles issued so far.
+    #[must_use]
+    pub const fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// The scan order being generated.
+    #[must_use]
+    pub const fn order(&self) -> ScanOrder {
+        self.order
+    }
+
+    fn is_contiguous(&self, prev: Point, next: Point) -> bool {
+        let step = next - prev;
+        let primary = self.order.primary_step();
+        match self.order {
+            ScanOrder::Serpentine => {
+                // Within a line, either direction; a vertical step of one
+                // line at the turn also keeps the matrix reusable only in
+                // column-major sense — the prototype reloads, so treat
+                // turns as discontinuities.
+                step.y == 0 && step.x.abs() == 1
+            }
+            _ => step == primary,
+        }
+    }
+}
+
+impl Iterator for ControlFsm {
+    type Item = (Point, PixelBundle);
+
+    fn next(&mut self) -> Option<(Point, PixelBundle)> {
+        let p = self.points.next()?;
+        let fetch = match self.prev {
+            Some(prev) if self.is_contiguous(prev, p) => FetchKind::Shift,
+            _ => FetchKind::Load,
+        };
+        let bundle = PixelBundle::new(self.issued, fetch);
+        self.issued += 1;
+        self.prev = Some(p);
+        Some((p, bundle))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.points.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ControlFsm {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_loads_once_per_line() {
+        let fsm = ControlFsm::new(Dims::new(4, 3), ScanOrder::RowMajor);
+        let loads: Vec<Point> = fsm
+            .filter(|(_, b)| b.fetch == FetchKind::Load)
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(
+            loads,
+            vec![Point::new(0, 0), Point::new(0, 1), Point::new(0, 2)],
+            "one LOAD per line start"
+        );
+    }
+
+    #[test]
+    fn shift_count_complements_loads() {
+        let fsm = ControlFsm::new(Dims::new(5, 4), ScanOrder::RowMajor);
+        let bundles: Vec<_> = fsm.collect();
+        assert_eq!(bundles.len(), 20);
+        let loads = bundles.iter().filter(|(_, b)| b.fetch == FetchKind::Load).count();
+        let shifts = bundles.iter().filter(|(_, b)| b.fetch == FetchKind::Shift).count();
+        assert_eq!(loads, 4);
+        assert_eq!(shifts, 16);
+    }
+
+    #[test]
+    fn column_major_loads_once_per_column() {
+        let fsm = ControlFsm::new(Dims::new(3, 4), ScanOrder::ColumnMajor);
+        let loads = fsm.filter(|(_, b)| b.fetch == FetchKind::Load).count();
+        assert_eq!(loads, 3);
+    }
+
+    #[test]
+    fn serpentine_reuses_within_lines_reloads_at_turns() {
+        let fsm = ControlFsm::new(Dims::new(3, 3), ScanOrder::Serpentine);
+        let bundles: Vec<_> = fsm.collect();
+        let loads = bundles.iter().filter(|(_, b)| b.fetch == FetchKind::Load).count();
+        assert_eq!(loads, 3, "line turns reload the matrix");
+    }
+
+    #[test]
+    fn pixel_indices_sequential() {
+        let fsm = ControlFsm::new(Dims::new(2, 2), ScanOrder::RowMajor);
+        let idx: Vec<usize> = fsm.map(|(_, b)| b.pixel_index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exact_size() {
+        let mut fsm = ControlFsm::new(Dims::new(4, 4), ScanOrder::RowMajor);
+        assert_eq!(fsm.len(), 16);
+        fsm.next();
+        assert_eq!(fsm.len(), 15);
+        assert_eq!(fsm.issued(), 1);
+        assert_eq!(fsm.order(), ScanOrder::RowMajor);
+    }
+}

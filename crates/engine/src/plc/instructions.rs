@@ -1,0 +1,157 @@
+//! The micro-instruction set of the pixel-level controller.
+//!
+//! §3.4/§3.5: the datapath has four stages; *"In order to generate a
+//! result pixel one instruction has to be performed in each one of the
+//! stages"*. The control FSM emits one [`PixelBundle`] per pixel-cycle;
+//! the start-pipeline overlaps bundles so that instructions of different
+//! pixel-cycles occupy different stages simultaneously.
+
+use core::fmt;
+
+/// The pipeline stage an instruction executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Stage {
+    /// Stage 1: image scanning — advance the pixel position counters.
+    Scan,
+    /// Stage 2: fill the matrix register from the IIM (LOAD or SHIFT).
+    Fetch,
+    /// Stage 3: execute the pixel operation on the neighbourhood.
+    Execute,
+    /// Stage 4: store the result pixel into the OIM.
+    Store,
+}
+
+impl Stage {
+    /// The four stages in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Scan, Stage::Fetch, Stage::Execute, Stage::Store];
+
+    /// Stage index (0-based).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Stage::Scan => 0,
+            Stage::Fetch => 1,
+            Stage::Execute => 2,
+            Stage::Store => 3,
+        }
+    }
+
+    /// The datapath resource the stage occupies, for the arbiter.
+    #[must_use]
+    pub const fn resource(self) -> Resource {
+        match self {
+            Stage::Scan => Resource::PositionCounters,
+            Stage::Fetch => Resource::IimPort,
+            Stage::Execute => Resource::Alu,
+            Stage::Store => Resource::OimPort,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Scan => "scan",
+            Stage::Fetch => "fetch",
+            Stage::Execute => "execute",
+            Stage::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Lockable datapath resources (§3.2: *"The instructions FSM can request
+/// and lock the resources in the Process Unit"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Resource {
+    /// The pixel position counters of stage 1.
+    PositionCounters,
+    /// The IIM read port of stage 2.
+    IimPort,
+    /// The arithmetic unit of stage 3.
+    Alu,
+    /// The OIM write port of stage 4.
+    OimPort,
+}
+
+impl Resource {
+    /// All resources.
+    pub const ALL: [Resource; 4] = [
+        Resource::PositionCounters,
+        Resource::IimPort,
+        Resource::Alu,
+        Resource::OimPort,
+    ];
+}
+
+/// How stage 2 fills the matrix register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FetchKind {
+    /// LOAD: fill the whole matrix from scratch (first pixel of a line).
+    Load,
+    /// SHIFT: drop one column, append the newly visible one.
+    Shift,
+}
+
+impl fmt::Display for FetchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchKind::Load => f.write_str("LOAD"),
+            FetchKind::Shift => f.write_str("SHIFT"),
+        }
+    }
+}
+
+/// The per-pixel instruction bundle: one instruction per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PixelBundle {
+    /// Sequence number of the pixel within the call (scan order).
+    pub pixel_index: usize,
+    /// How stage 2 fills the matrix register.
+    pub fetch: FetchKind,
+}
+
+impl PixelBundle {
+    /// Creates a bundle.
+    #[must_use]
+    pub const fn new(pixel_index: usize, fetch: FetchKind) -> Self {
+        PixelBundle { pixel_index, fetch }
+    }
+}
+
+impl fmt::Display for PixelBundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "px#{} ({})", self.pixel_index, self.fetch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stages_in_order() {
+        assert_eq!(Stage::ALL.len(), 4);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn stages_own_distinct_resources() {
+        let resources: Vec<_> = Stage::ALL.iter().map(|s| s.resource()).collect();
+        let unique: std::collections::HashSet<_> = resources.iter().collect();
+        assert_eq!(unique.len(), 4, "each stage owns its own resource");
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Stage::Fetch.to_string(), "fetch");
+        assert_eq!(FetchKind::Load.to_string(), "LOAD");
+        assert_eq!(PixelBundle::new(3, FetchKind::Shift).to_string(), "px#3 (SHIFT)");
+    }
+}

@@ -1,0 +1,25 @@
+//! The pixel-level controller (PLC): the controlpath of the processor.
+//!
+//! §3.4: *"The pixel level controller is the controlpath of the processor.
+//! Its purpose is to control the process unit (i.e. datapath) enabling the
+//! intervention of its components when necessary."* Per fig. 5 it is
+//! composed of four modules, each modelled by a submodule here:
+//!
+//! * [`control_fsm`] — generates the set of instructions for every
+//!   pixel-cycle,
+//! * [`arbiter`] — guarantees instructions in different stages never
+//!   touch the same Process-Unit resource,
+//! * instructions ([`instructions`]) — the micro-ops that request and
+//!   lock resources and steer their behaviour,
+//! * [`start_pipeline`] — keeps instructions of different pixel-cycles in
+//!   different stages concurrently.
+
+pub mod arbiter;
+pub mod control_fsm;
+pub mod instructions;
+pub mod start_pipeline;
+
+pub use arbiter::Arbiter;
+pub use control_fsm::ControlFsm;
+pub use instructions::{FetchKind, PixelBundle, Resource, Stage};
+pub use start_pipeline::{StageSnapshot, StartPipeline};

@@ -1,0 +1,157 @@
+//! Call reports and engine-level statistics.
+
+use core::fmt;
+use std::time::Duration;
+
+use vip_core::accounting::{AccessModel, AddressingMode, CallDescriptor};
+
+use crate::process_unit::ProcessingStats;
+use crate::timing::CallTimeline;
+
+/// Everything the engine knows about one executed call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Static call description.
+    pub descriptor: CallDescriptor,
+    /// The analytic schedule of the call.
+    pub timeline: CallTimeline,
+    /// Table 2 access model (software vs. hardware counts).
+    pub access_model: AccessModel,
+    /// Hardware pixel-access cycles actually observed on the ZBT
+    /// (detailed mode) or taken from the model (analytic mode).
+    pub hardware_accesses: u64,
+    /// Cycle-stepped statistics; present in detailed mode only.
+    pub processing: Option<ProcessingStats>,
+}
+
+impl EngineReport {
+    /// End-to-end duration of the call.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        self.timeline.total_duration()
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.descriptor, self.timeline)
+    }
+}
+
+/// Per-mode call tallies and accumulated busy time — the counters behind
+/// the "Intra AddrEng calls" / "Inter AddrEng calls" columns of Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EngineStats {
+    /// Completed intra calls.
+    pub intra_calls: u64,
+    /// Completed inter calls.
+    pub inter_calls: u64,
+    /// Completed segment calls (outlook configuration only).
+    pub segment_calls: u64,
+    /// Accumulated end-to-end call time in seconds.
+    pub busy_seconds: f64,
+    /// Accumulated PCI payload seconds.
+    pub pci_seconds: f64,
+    /// Accumulated hardware pixel-access cycles.
+    pub hardware_accesses: u64,
+}
+
+impl EngineStats {
+    /// Total calls of any mode.
+    #[must_use]
+    pub const fn total_calls(&self) -> u64 {
+        self.intra_calls + self.inter_calls + self.segment_calls
+    }
+
+    /// Folds one report into the tallies.
+    pub fn record(&mut self, report: &EngineReport) {
+        match report.descriptor.mode {
+            AddressingMode::Intra => self.intra_calls += 1,
+            AddressingMode::Inter => self.inter_calls += 1,
+            AddressingMode::Segment => self.segment_calls += 1,
+            AddressingMode::SegmentIndexed => {}
+        }
+        self.busy_seconds += report.timeline.total;
+        self.pci_seconds += report.timeline.input_pci + report.timeline.output_pci;
+        self.hardware_accesses += report.hardware_accesses;
+    }
+
+    /// Accumulated busy time.
+    #[must_use]
+    pub fn busy_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.busy_seconds)
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} calls ({} intra, {} inter, {} segment), busy {:.3} s",
+            self.total_calls(),
+            self.intra_calls,
+            self.inter_calls,
+            self.segment_calls,
+            self.busy_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::timing::{inter_timeline, intra_timeline};
+    use vip_core::geometry::Dims;
+    use vip_core::neighborhood::Connectivity;
+    use vip_core::pixel::ChannelSet;
+
+    fn report(mode: AddressingMode) -> EngineReport {
+        let dims = Dims::new(32, 32);
+        let cfg = EngineConfig::prototype();
+        let (descriptor, timeline) = match mode {
+            AddressingMode::Inter => (
+                CallDescriptor::inter(ChannelSet::Y, ChannelSet::Y),
+                inter_timeline(dims, &cfg),
+            ),
+            _ => (
+                CallDescriptor::intra(Connectivity::Con8, ChannelSet::Y, ChannelSet::Y),
+                intra_timeline(dims, 1, &cfg),
+            ),
+        };
+        EngineReport {
+            descriptor,
+            access_model: AccessModel::for_call(&descriptor, dims),
+            hardware_accesses: 2 * dims.pixel_count() as u64,
+            timeline,
+            processing: None,
+        }
+    }
+
+    #[test]
+    fn stats_tally_by_mode() {
+        let mut s = EngineStats::default();
+        s.record(&report(AddressingMode::Intra));
+        s.record(&report(AddressingMode::Intra));
+        s.record(&report(AddressingMode::Inter));
+        assert_eq!(s.intra_calls, 2);
+        assert_eq!(s.inter_calls, 1);
+        assert_eq!(s.total_calls(), 3);
+        assert!(s.busy_seconds > 0.0);
+        assert!(s.pci_seconds > 0.0);
+        assert!(s.pci_seconds <= s.busy_seconds);
+        assert_eq!(s.hardware_accesses, 3 * 2 * 1024);
+        assert!(s.busy_duration().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn report_duration_and_display() {
+        let r = report(AddressingMode::Inter);
+        assert!(r.duration().as_secs_f64() > 0.0);
+        assert!(r.to_string().contains("inter"));
+        let mut s = EngineStats::default();
+        s.record(&r);
+        assert!(s.to_string().contains("1 inter"));
+    }
+}

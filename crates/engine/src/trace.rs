@@ -1,0 +1,181 @@
+//! Call traces: the schedule of one engine call as a typed, ordered
+//! event list — the machine-readable form of the image-level
+//! controller's timeline, for debugging, visualisation and export.
+//!
+//! # Examples
+//!
+//! ```
+//! use vip_core::geometry::Dims;
+//! use vip_engine::timing::intra_timeline;
+//! use vip_engine::trace::trace_of;
+//! use vip_engine::EngineConfig;
+//!
+//! let timeline = intra_timeline(Dims::new(64, 48), 1, &EngineConfig::prototype());
+//! let events = trace_of(&timeline);
+//! assert!(events.len() >= 4);
+//! assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+//! ```
+
+use core::fmt;
+
+use crate::timing::CallTimeline;
+
+/// What happened at one point of a call's schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceKind {
+    /// Host issued the call (interrupt/DMA setup begins).
+    CallIssued,
+    /// Inbound DMA started moving the first strip.
+    InputDmaStarted,
+    /// The last input pixel is resident in the ZBT.
+    InputDmaCompleted,
+    /// The last result pixel was drained into the result banks.
+    ProcessingCompleted,
+    /// Outbound DMA started.
+    OutputDmaStarted,
+    /// Outbound DMA delivered the last word; completion interrupt next.
+    OutputDmaCompleted,
+    /// The call completed (completion interrupt served).
+    CallCompleted,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::CallIssued => "call issued",
+            TraceKind::InputDmaStarted => "input DMA started",
+            TraceKind::InputDmaCompleted => "input DMA completed",
+            TraceKind::ProcessingCompleted => "processing completed",
+            TraceKind::OutputDmaStarted => "output DMA started",
+            TraceKind::OutputDmaCompleted => "output DMA completed",
+            TraceKind::CallCompleted => "call completed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One schedule event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceEvent {
+    /// Seconds from call issue.
+    pub at: f64,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10.3} ms  {}", self.at * 1e3, self.kind)
+    }
+}
+
+/// Derives the ordered event list of a call from its timeline.
+#[must_use]
+pub fn trace_of(timeline: &CallTimeline) -> Vec<TraceEvent> {
+    let irq = timeline.interrupt_overhead / 2.0;
+    let mut events = vec![
+        TraceEvent {
+            at: 0.0,
+            kind: TraceKind::CallIssued,
+        },
+        TraceEvent {
+            at: irq,
+            kind: TraceKind::InputDmaStarted,
+        },
+        TraceEvent {
+            at: timeline.input_end,
+            kind: TraceKind::InputDmaCompleted,
+        },
+        TraceEvent {
+            at: timeline.drain_end,
+            kind: TraceKind::ProcessingCompleted,
+        },
+        TraceEvent {
+            at: timeline.output_start,
+            kind: TraceKind::OutputDmaStarted,
+        },
+        TraceEvent {
+            at: timeline.total - irq,
+            kind: TraceKind::OutputDmaCompleted,
+        },
+        TraceEvent {
+            at: timeline.total,
+            kind: TraceKind::CallCompleted,
+        },
+    ];
+    events.sort_by(|a, b| {
+        a.at.partial_cmp(&b.at)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then_with(|| (a.kind as u8).cmp(&(b.kind as u8)))
+    });
+    events
+}
+
+/// Renders a trace as a one-line-per-event table.
+#[must_use]
+pub fn format_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{inter_timeline, intra_timeline};
+    use crate::EngineConfig;
+    use vip_core::geometry::Dims;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::prototype()
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        for t in [
+            intra_timeline(Dims::new(352, 288), 1, &cfg()),
+            inter_timeline(Dims::new(352, 288), &cfg()),
+        ] {
+            let events = trace_of(&t);
+            assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "{events:?}");
+            assert_eq!(events.first().unwrap().kind, TraceKind::CallIssued);
+            assert_eq!(events.last().unwrap().kind, TraceKind::CallCompleted);
+        }
+    }
+
+    #[test]
+    fn bracketing_events_match_timeline() {
+        let t = intra_timeline(Dims::new(352, 288), 1, &cfg());
+        let events = trace_of(&t);
+        let at = |k: TraceKind| events.iter().find(|e| e.kind == k).unwrap().at;
+        assert_eq!(at(TraceKind::CallCompleted), t.total);
+        assert_eq!(at(TraceKind::InputDmaCompleted), t.input_end);
+        assert_eq!(at(TraceKind::OutputDmaStarted), t.output_start);
+        assert!(at(TraceKind::InputDmaStarted) <= at(TraceKind::InputDmaCompleted));
+    }
+
+    #[test]
+    fn formatting_contains_all_events() {
+        let t = inter_timeline(Dims::new(64, 64), &cfg());
+        let events = trace_of(&t);
+        let text = format_trace(&events);
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("output DMA started"));
+        assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TraceEvent {
+            at: 0.001,
+            kind: TraceKind::ProcessingCompleted,
+        };
+        assert!(e.to_string().contains("1.000 ms"));
+        assert!(e.to_string().contains("processing completed"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # vip-gme — MPEG-7-style global motion estimation and mosaicing
+//!
+//! The test algorithm of the DATE 2005 AddressEngine paper (§4.3): a
+//! hierarchical global motion estimator in the spirit of the MPEG-7
+//! eXperimentation Model, used for mosaicing. Structured exactly along
+//! the paper's hardware/software split — high-level control stays on the
+//! host, while every whole-frame pixel pass is an AddressLib call
+//! dispatched through a pluggable [`backend::GmeBackend`]:
+//!
+//! * [`backend::SoftwareBackend`] — the pure-software AddressLib
+//!   (Table 3's Pentium-M column),
+//! * [`backend::EngineBackend`] — the simulated AddressEngine
+//!   coprocessor (Table 3's FPGA column), counting intra/inter calls and
+//!   accumulating the modelled FPGA time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vip_core::frame::Frame;
+//! use vip_core::geometry::Dims;
+//! use vip_core::pixel::Pixel;
+//! use vip_gme::backend::SoftwareBackend;
+//! use vip_gme::estimate::{Estimator, GmeConfig};
+//! use vip_gme::model::Motion;
+//! use vip_gme::warp::warp_frame;
+//!
+//! # fn main() -> Result<(), vip_core::error::CoreError> {
+//! let reference = Frame::from_fn(Dims::new(64, 64), |p| {
+//!     let v = 120.0 + 60.0 * ((p.x as f64 / 6.0).sin() * (p.y as f64 / 8.0).cos());
+//!     Pixel::from_luma(v as u8)
+//! });
+//! let current = warp_frame(&reference, &Motion::translation(-1.0, -1.0)).frame;
+//! let mut backend = SoftwareBackend::new();
+//! let result = Estimator::new(GmeConfig::translational())
+//!     .estimate(&reference, &current, Motion::identity(), &mut backend)?;
+//! let (dx, dy) = result.motion.translation_part();
+//! assert!((dx - 1.0).abs() < 0.5 && (dy - 1.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod estimate;
+pub mod metrics;
+pub mod model;
+pub mod mosaic;
+pub mod pyramid;
+pub mod runner;
+pub mod warp;
+
+pub use backend::{CallTally, EngineBackend, GmeBackend, SoftwareBackend};
+pub use estimate::{Estimator, GmeConfig, GmeResult};
+pub use metrics::{drift_report, luma_psnr, DriftReport};
+pub use model::{Motion, MotionModel};
+pub use mosaic::Mosaic;
+pub use pyramid::Pyramid;
+pub use runner::{FrameRecord, SequenceReport, SequenceRunner};

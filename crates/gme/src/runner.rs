@@ -1,0 +1,308 @@
+//! Sequence-level GME: the top-level software layer of §4.3, estimating
+//! frame-to-frame global motion over a whole clip, composing absolute
+//! motion and (optionally) building the mosaic.
+
+use vip_core::error::{CoreError, CoreResult};
+use vip_core::frame::Frame;
+use vip_core::geometry::Dims;
+
+use crate::backend::{CallTally, GmeBackend};
+use crate::estimate::{Estimator, GmeConfig, GmeResult};
+use crate::model::Motion;
+use crate::mosaic::Mosaic;
+use crate::pyramid::Pyramid;
+
+/// Per-frame estimation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Frame index within the sequence (the *current* frame; motion is
+    /// estimated from frame `index − 1`).
+    pub index: usize,
+    /// Relative motion from the previous frame to this frame.
+    pub relative: Motion,
+    /// Absolute motion from frame 0 to this frame.
+    pub absolute: Motion,
+    /// Estimator diagnostics.
+    pub gme: GmeResult,
+}
+
+/// The outcome of running GME over a sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceReport {
+    /// Number of frames processed.
+    pub frames: usize,
+    /// One record per estimated frame pair (`frames − 1` entries).
+    pub records: Vec<FrameRecord>,
+    /// AddressLib call tallies accumulated by the backend.
+    pub tally: CallTally,
+    /// Seconds the backend's timing model attributes to its calls
+    /// (engine time for [`crate::backend::EngineBackend`], PM time for
+    /// [`crate::backend::SoftwareBackend`]).
+    pub backend_seconds: f64,
+    /// Seconds the same calls would take on the paper's Pentium-M
+    /// software platform (the Table 3 "Time in PM" column), priced per
+    /// call at its actual frame size.
+    pub pm_seconds: f64,
+    /// The mosaic, when requested.
+    pub mosaic: Option<Mosaic>,
+}
+
+impl SequenceReport {
+    /// Mean residual over all estimated pairs.
+    #[must_use]
+    pub fn mean_residual(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.gme.residual).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Mean iterations per frame pair.
+    #[must_use]
+    pub fn mean_iterations(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.gme.iterations as f64).sum::<f64>()
+            / self.records.len() as f64
+    }
+}
+
+/// Runs GME (and optional mosaicing) over a sequence of frames.
+#[derive(Debug, Clone)]
+pub struct SequenceRunner {
+    estimator: Estimator,
+    build_mosaic: bool,
+    mosaic_margin: (f64, f64),
+}
+
+impl SequenceRunner {
+    /// Creates a runner with the given estimator configuration.
+    #[must_use]
+    pub fn new(config: GmeConfig) -> Self {
+        SequenceRunner {
+            estimator: Estimator::new(config),
+            build_mosaic: false,
+            mosaic_margin: (64.0, 48.0),
+        }
+    }
+
+    /// Enables mosaic construction with the given canvas margins (world
+    /// units each side beyond the frame).
+    #[must_use]
+    pub fn with_mosaic(mut self, margin_x: f64, margin_y: f64) -> Self {
+        self.build_mosaic = true;
+        self.mosaic_margin = (margin_x, margin_y);
+        self
+    }
+
+    /// Processes the frames, estimating motion between consecutive pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyFrame`] when the iterator yields no
+    /// frames, [`CoreError::DimsMismatch`] when frame sizes vary, and
+    /// propagates estimator/backend errors.
+    pub fn run<I>(&self, frames: I, backend: &mut dyn GmeBackend) -> CoreResult<SequenceReport>
+    where
+        I: IntoIterator<Item = Frame>,
+    {
+        let mut it = frames.into_iter();
+        let first = it.next().ok_or(CoreError::EmptyFrame)?;
+        let dims: Dims = first.dims();
+        if dims.is_empty() {
+            return Err(CoreError::EmptyFrame);
+        }
+
+        let mut mosaic = self
+            .build_mosaic
+            .then(|| Mosaic::sized_for(dims, self.mosaic_margin.0, self.mosaic_margin.1));
+
+        let levels = self.estimator.config().levels;
+        let mut ref_pyr = Pyramid::build(&first, levels, backend)?;
+        if let Some(m) = mosaic.as_mut() {
+            m.add_frame(&first, &Motion::identity(), backend)?;
+        }
+
+        let mut records = Vec::new();
+        let mut absolute = Motion::identity();
+        let mut prediction = Motion::identity();
+        let mut count = 1usize;
+
+        for frame in it {
+            if frame.dims() != dims {
+                return Err(CoreError::DimsMismatch {
+                    left: dims,
+                    right: frame.dims(),
+                });
+            }
+            let cur_pyr = Pyramid::build(&frame, levels, backend)?;
+            let gme =
+                self.estimator
+                    .estimate_with_pyramids(&ref_pyr, &cur_pyr, prediction, backend)?;
+            let relative = gme.motion;
+            // Warm-start the next pair with this pair's motion.
+            prediction = relative;
+            // absolute_t maps frame-0 coords → frame-t coords.
+            absolute = relative.compose(&absolute);
+            if let Some(m) = mosaic.as_mut() {
+                m.add_frame(&frame, &absolute, backend)?;
+            }
+            records.push(FrameRecord {
+                index: count,
+                relative,
+                absolute,
+                gme,
+            });
+            ref_pyr = cur_pyr;
+            count += 1;
+        }
+
+        Ok(SequenceReport {
+            frames: count,
+            records,
+            tally: backend.tally(),
+            backend_seconds: backend.modelled_seconds(),
+            pm_seconds: backend.pm_modelled_seconds(),
+            mosaic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EngineBackend, SoftwareBackend};
+    
+    use vip_core::pixel::Pixel;
+
+    fn textured(dims: Dims) -> Frame {
+        Frame::from_fn(dims, |p| {
+            let x = p.x as f64;
+            let y = p.y as f64;
+            let v = 120.0 + 55.0 * ((x / 6.0).sin() * (y / 8.0).cos())
+                + 35.0 * ((x / 19.0 + y / 23.0).sin());
+            Pixel::from_luma(v.clamp(0.0, 255.0) as u8)
+        })
+    }
+
+    /// A synthetic pan: frame t samples an analytic texture at
+    /// `p + t·(dx, dy)` — no border artefacts, exact sub-pixel motion.
+    fn pan_sequence(dims: Dims, n: usize, dx: f64, dy: f64) -> Vec<Frame> {
+        (0..n)
+            .map(|t| {
+                let ox = t as f64 * dx;
+                let oy = t as f64 * dy;
+                Frame::from_fn(dims, |p| {
+                    let x = p.x as f64 + ox;
+                    let y = p.y as f64 + oy;
+                    let v = 120.0
+                        + 55.0 * ((x / 6.0).sin() * (y / 8.0).cos())
+                        + 35.0 * ((x / 19.0 + y / 23.0).sin());
+                    Pixel::from_luma(v.clamp(0.0, 255.0) as u8)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_constant_pan() {
+        let frames = pan_sequence(Dims::new(80, 64), 5, 1.5, -0.5);
+        let runner = SequenceRunner::new(GmeConfig::translational());
+        let mut backend = SoftwareBackend::new();
+        let report = runner.run(frames, &mut backend).unwrap();
+        assert_eq!(report.frames, 5);
+        assert_eq!(report.records.len(), 4);
+        // frame t samples base at p + t·(1.5, −0.5), so the ref→cur
+        // mapping is a translation by −(1.5, −0.5).
+        for rec in &report.records {
+            let (dx, dy) = rec.relative.translation_part();
+            assert!((dx + 1.5).abs() < 0.4, "frame {}: dx {dx}", rec.index);
+            assert!((dy - 0.5).abs() < 0.4, "frame {}: dy {dy}", rec.index);
+        }
+        // Absolute motion accumulates.
+        let (adx, _) = report.records.last().unwrap().absolute.translation_part();
+        assert!((adx + 6.0).abs() < 1.2, "absolute dx {adx}");
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let runner = SequenceRunner::new(GmeConfig::default());
+        let mut backend = SoftwareBackend::new();
+        assert!(matches!(
+            runner.run(Vec::<Frame>::new(), &mut backend),
+            Err(CoreError::EmptyFrame)
+        ));
+    }
+
+    #[test]
+    fn dims_change_rejected() {
+        let runner = SequenceRunner::new(GmeConfig::default());
+        let mut backend = SoftwareBackend::new();
+        let frames = vec![textured(Dims::new(32, 32)), textured(Dims::new(64, 32))];
+        assert!(matches!(
+            runner.run(frames, &mut backend),
+            Err(CoreError::DimsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn call_tally_intra_heavier_than_inter() {
+        let frames = pan_sequence(Dims::new(64, 64), 6, 1.0, 0.0);
+        let runner = SequenceRunner::new(GmeConfig::default());
+        let mut backend = SoftwareBackend::new();
+        let report = runner.run(frames, &mut backend).unwrap();
+        let t = report.tally;
+        assert!(t.intra > 0 && t.inter > 0);
+        let ratio = t.intra as f64 / t.inter as f64;
+        // Table 3's workload is intra-heavy (≈1.4×).
+        assert!(ratio > 0.9 && ratio < 3.0, "ratio {ratio} ({t})");
+    }
+
+    #[test]
+    fn engine_backend_accumulates_fpga_time() {
+        let frames = pan_sequence(Dims::new(48, 48), 3, 1.0, 0.0);
+        let runner = SequenceRunner::new(GmeConfig::translational());
+        let mut backend = EngineBackend::prototype();
+        let report = runner.run(frames, &mut backend).unwrap();
+        assert!(report.backend_seconds > 0.0);
+        assert_eq!(report.tally.total(), backend.tally().total());
+    }
+
+    #[test]
+    fn mosaic_grows_with_pan() {
+        let frames = pan_sequence(Dims::new(64, 48), 5, 3.0, 0.0);
+        let runner = SequenceRunner::new(GmeConfig::translational()).with_mosaic(40.0, 16.0);
+        let mut backend = SoftwareBackend::new();
+        let report = runner.run(frames, &mut backend).unwrap();
+        let mosaic = report.mosaic.expect("mosaic requested");
+        assert_eq!(mosaic.frames_added(), 5);
+        assert!(mosaic.coverage() > 0.2);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let frames = pan_sequence(Dims::new(64, 64), 4, 0.5, 0.5);
+        let runner = SequenceRunner::new(GmeConfig::translational());
+        let mut backend = SoftwareBackend::new();
+        let report = runner.run(frames, &mut backend).unwrap();
+        assert!(report.mean_iterations() >= 1.0);
+        assert!(report.mean_residual() < 20.0);
+    }
+
+    #[test]
+    fn software_and_engine_backends_agree_on_motion() {
+        let frames = pan_sequence(Dims::new(64, 64), 3, 2.0, 1.0);
+        let runner = SequenceRunner::new(GmeConfig::translational());
+        let mut sw = SoftwareBackend::new();
+        let mut hw = EngineBackend::prototype();
+        let a = runner.run(frames.clone(), &mut sw).unwrap();
+        let b = runner.run(frames, &mut hw).unwrap();
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.relative, rb.relative, "frame {}", ra.index);
+        }
+        // Identical call pattern on both backends.
+        assert_eq!(a.tally.intra, b.tally.intra);
+        assert_eq!(a.tally.inter, b.tally.inter);
+    }
+}

@@ -1,0 +1,36 @@
+//! # vip-profiling — instruction profiling and speedup bounds
+//!
+//! The software-side analysis of the DATE 2005 AddressEngine paper:
+//!
+//! * [`instr`] — instruction classes and the calibrated Pentium-M/XM
+//!   cycle cost model (the "Time in PM" column of Table 3),
+//! * [`profile`] — instruction mixes of AddressLib calls and of the
+//!   video-object-segmentation workload of ref. \[3\],
+//! * [`amdahl`] — the host/coprocessor partition analysis behind the
+//!   paper's *"maximum achievable acceleration … estimated as a factor
+//!   of 30"* (§1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vip_core::geometry::Dims;
+//! use vip_profiling::amdahl::SpeedupBound;
+//! use vip_profiling::instr::CostModel;
+//! use vip_profiling::profile::segmentation_workload;
+//!
+//! let mix = segmentation_workload(Dims::new(352, 288));
+//! let bound = SpeedupBound::of(&mix, &CostModel::pentium_m_xm());
+//! assert!(bound.ideal_bound > 20.0, "the paper estimates ×30");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod amdahl;
+pub mod instr;
+pub mod profile;
+
+pub use amdahl::SpeedupBound;
+pub use instr::{CostModel, InstrClass, InstrMix};
+pub use profile::{call_mix, segmentation_workload, software_call_seconds, WorkloadProfile};

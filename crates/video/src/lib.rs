@@ -1,0 +1,37 @@
+//! # vip-video — synthetic sequences and image I/O
+//!
+//! Synthetic stand-ins for the MPEG-1 CIF test clips of the DATE 2005
+//! AddressEngine paper (Table 3: Singapore, Dome, Pisa, Movie). Each
+//! [`sequences::TestSequence`] couples a deterministic procedural scene
+//! with a scripted camera motion, so rendered frames carry exact
+//! ground-truth global motion — which also lets the reproduction
+//! *validate* the motion estimator, something the original clips could
+//! not.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vip_video::sequences::TestSequence;
+//!
+//! // A down-scaled "Singapore" for a fast demo.
+//! let seq = TestSequence::singapore().scaled(88, 72, 10);
+//! let first = seq.render_frame(0);
+//! assert_eq!(first.height(), 72);
+//! let truth = seq.script().ground_truth(0);
+//! assert!(truth.dx.abs() > 0.0, "the camera pans");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod degrade;
+pub mod io;
+pub mod motion_script;
+pub mod sequences;
+pub mod synth;
+
+pub use degrade::{Degradation, ForegroundObject};
+pub use motion_script::{CameraPose, MotionScript, Segment};
+pub use sequences::TestSequence;
+pub use synth::{Scene, SceneKind};

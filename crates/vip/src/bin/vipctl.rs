@@ -1,0 +1,233 @@
+//! `vipctl` — command-line front end to the AddressEngine reproduction.
+//!
+//! ```text
+//! vipctl info
+//! vipctl render <singapore|dome|pisa|movie> --frames N --width W --height H --out clip.y4m
+//! vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
+//! vipctl segment --tolerance T [--size WxH] [--out labels.pgm]
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+use vip::core::addressing::labeling::label_all_segments;
+use vip::core::addressing::segment::SegmentOptions;
+use vip::core::geometry::Dims;
+use vip::core::ops::segment_ops::HomogeneityCriterion;
+use vip::core::pixel::Pixel;
+use vip::engine::{EngineConfig, ResourceEstimate};
+use vip::gme::{EngineBackend, GmeBackend, GmeConfig, SequenceRunner, SoftwareBackend};
+use vip::video::io::{write_pgm, Y4mWriter};
+use vip::video::TestSequence;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vipctl: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  vipctl info
+  vipctl render <sequence> [--frames N] [--size WxH] [--out clip.y4m]
+  vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
+  vipctl segment [--tolerance T] [--size WxH] [--out labels.pgm]
+sequences: singapore | dome | pisa | movie";
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "info" => info(),
+        "render" => render(args.get(1), &flags),
+        "gme" => gme(args.get(1), &flags),
+        "segment" => segment(&flags),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(name) = rest[i].strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" {
+                i += 1;
+            }
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn sequence_by_name(name: Option<&String>) -> Result<TestSequence, Box<dyn Error>> {
+    match name.map(String::as_str) {
+        Some("singapore") => Ok(TestSequence::singapore()),
+        Some("dome") => Ok(TestSequence::dome()),
+        Some("pisa") => Ok(TestSequence::pisa()),
+        Some("movie") => Ok(TestSequence::movie()),
+        Some(other) if !other.starts_with("--") => Err(format!("unknown sequence `{other}`").into()),
+        _ => Err("missing sequence name".into()),
+    }
+}
+
+fn parse_size(flags: &HashMap<String, String>, default: Dims) -> Result<Dims, Box<dyn Error>> {
+    match flags.get("size") {
+        None => Ok(default),
+        Some(s) => {
+            let (w, h) = s
+                .split_once(['x', 'X'])
+                .ok_or("--size expects WxH, e.g. 176x144")?;
+            Ok(Dims::new(w.parse()?, h.parse()?))
+        }
+    }
+}
+
+fn scaled(seq: &TestSequence, flags: &HashMap<String, String>) -> Result<TestSequence, Box<dyn Error>> {
+    let dims = parse_size(flags, Dims::new(176, 144))?;
+    let frames: usize = flags
+        .get("frames")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(12);
+    Ok(seq.scaled(dims.width, dims.height, frames))
+}
+
+fn info() -> Result<(), Box<dyn Error>> {
+    let cfg = EngineConfig::prototype();
+    println!("AddressEngine prototype configuration (DATE 2005):");
+    println!("  PCI          : {} × {} B = {:.0} MB/s", cfg.pci_clock, cfg.pci_bytes_per_cycle, cfg.pci_bandwidth() / 1e6);
+    println!("  engine clock : {}", cfg.engine_clock);
+    println!("  ZBT          : {} banks × {} words = {} MB", cfg.zbt_banks, cfg.zbt_bank_words, cfg.zbt_bytes() / (1024 * 1024));
+    println!("  strips       : {} lines   IIM/OIM: {}/{} lines", cfg.strip_lines, cfg.iim_lines, cfg.oim_lines);
+    println!("  pipeline     : {} stages", cfg.pipeline_stages);
+    println!(
+        "  segment mode : {}",
+        if cfg.segment_capable { "enabled" } else { "v2 outlook only" }
+    );
+    println!();
+    println!("{}", ResourceEstimate::for_config(&cfg));
+    Ok(())
+}
+
+fn render(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let seq = scaled(&sequence_by_name(name)?, flags)?;
+    let default_out = format!("{}.y4m", seq.name());
+    let out = flags.get("out").cloned().unwrap_or(default_out);
+    if out.ends_with(".pgm") {
+        write_pgm(&seq.render_frame(0), &out)?;
+        println!("wrote first frame of {} to {out}", seq.name());
+    } else {
+        let mut w = Y4mWriter::create(&out, seq.dims(), 25)?;
+        for f in seq.frames() {
+            w.write_frame(&f)?;
+        }
+        let n = w.frames_written();
+        w.into_inner()?;
+        println!("wrote {n} frames of {} ({}) to {out}", seq.name(), seq.dims());
+    }
+    Ok(())
+}
+
+fn gme(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let seq = scaled(&sequence_by_name(name)?, flags)?;
+    let use_software = flags.contains_key("software");
+    let mut runner = SequenceRunner::new(GmeConfig::default());
+    if flags.contains_key("mosaic") {
+        runner = runner.with_mosaic(seq.dims().width as f64, seq.dims().height as f64 / 2.0);
+    }
+
+    let mut backend: Box<dyn GmeBackend> = if use_software {
+        Box::new(SoftwareBackend::new())
+    } else {
+        Box::new(EngineBackend::prototype())
+    };
+    let report = runner.run(seq.frames(), backend.as_mut())?;
+
+    println!(
+        "{}: {} frames ({}), backend {}",
+        seq.name(),
+        report.frames,
+        seq.dims(),
+        backend.name()
+    );
+    println!(
+        "  calls        : {} intra + {} inter",
+        report.tally.intra, report.tally.inter
+    );
+    println!("  PM model     : {:.3} s", report.pm_seconds);
+    if !use_software {
+        println!("  engine model : {:.3} s  (speedup {:.2}x)", report.backend_seconds, report.pm_seconds / report.backend_seconds);
+    }
+    let mut err = 0.0;
+    for rec in &report.records {
+        let truth = seq.script().ground_truth(rec.index - 1);
+        let (dx, dy) = rec.relative.translation_part();
+        err += ((dx - truth.dx).powi(2) + (dy - truth.dy).powi(2)).sqrt();
+    }
+    println!(
+        "  ground truth : {:.3} px mean translation error",
+        err / report.records.len().max(1) as f64
+    );
+
+    if let (Some(path), Some(mosaic)) = (flags.get("mosaic"), report.mosaic) {
+        write_pgm(mosaic.canvas(), path)?;
+        println!(
+            "  mosaic       : {} canvas, {:.0} % covered → {path}",
+            mosaic.canvas().dims(),
+            mosaic.coverage() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn segment(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let dims = parse_size(flags, Dims::new(96, 72))?;
+    let tolerance: u8 = flags
+        .get("tolerance")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(12);
+    // Segment the first frame of the pisa stand-in.
+    let seq = TestSequence::pisa().scaled(dims.width, dims.height, 1);
+    let frame = seq.render_frame(0);
+    let labelling = label_all_segments(
+        &frame,
+        &HomogeneityCriterion::luma(tolerance),
+        SegmentOptions::default(),
+    )?;
+    println!(
+        "segmented {} ({}): {} segments, largest {}, mean size {:.1}",
+        seq.name(),
+        dims,
+        labelling.segment_count(),
+        labelling.largest_segment(),
+        labelling.mean_segment_size()
+    );
+    if let Some(path) = flags.get("out") {
+        // Visualise labels as luma (scaled into 0..255).
+        let n = labelling.segment_count().max(1) as u32;
+        let vis = vip::core::frame::Frame::from_fn(dims, |p| {
+            let label = u32::from(labelling.label_at(p));
+            Pixel::from_luma((label * 255 / n) as u8)
+        });
+        write_pgm(&vis, path)?;
+        println!("label map → {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run one AddressLib call on the simulated AddressEngine
+//! and inspect its report.
+//!
+//! ```text
+//! cargo run -p vip --example quickstart
+//! ```
+
+use vip::core::frame::Frame;
+use vip::core::geometry::ImageFormat;
+use vip::core::ops::filter::SobelGradient;
+use vip::core::pixel::Pixel;
+use vip::engine::{AddressEngine, EngineConfig, ResourceEstimate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CIF frame with a vertical edge in the middle.
+    let dims = ImageFormat::Cif.dims();
+    let frame = Frame::from_fn(dims, |p| {
+        Pixel::from_luma(if p.x < dims.width as i32 / 2 { 40 } else { 190 })
+    });
+
+    // The DATE 2005 prototype engine: 66 MHz PCI, six ZBT banks,
+    // 16-line strips and intermediate memories.
+    let mut engine = AddressEngine::new(EngineConfig::prototype())?;
+
+    // One intra AddressLib call: Sobel gradient over the whole frame.
+    let run = engine.run_intra(&frame, &SobelGradient::new())?;
+
+    println!("== AddressEngine quickstart ==");
+    println!("call     : {}", run.report.descriptor);
+    println!("frame    : {dims} ({} pixels)", dims.pixel_count());
+    println!("timeline : {}", run.report.timeline);
+    println!(
+        "memory   : software model {} accesses, hardware {} cycles ({:.0} % saved)",
+        run.report.access_model.software_accesses,
+        run.report.hardware_accesses,
+        run.report.access_model.saving_of_software() * 100.0
+    );
+
+    // The edge shows up as a bright gradient column.
+    let mid = vip::core::geometry::Point::new(dims.width as i32 / 2, dims.height as i32 / 2);
+    println!("gradient at the edge: {}", run.output.get(mid).y);
+    assert!(run.output.get(mid).y > 0);
+
+    // The paper's Table 1 in one view: the design is tiny, BRAM-dominated
+    // and comfortably meets the 66 MHz PCI clock.
+    let resources = ResourceEstimate::for_config(engine.config());
+    println!("\n{resources}");
+    Ok(())
+}

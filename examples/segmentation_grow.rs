@@ -1,0 +1,106 @@
+//! Segment addressing: region growing in order of geodesic distance —
+//! the third addressing scheme of §2.1, which the v1 prototype defers to
+//! future versions (§6) and the §5 outlook engine supports.
+//!
+//! Demonstrates both sides: the v1 engine *rejecting* a segment call and
+//! the outlook-configured engine executing it, with per-segment
+//! statistics gathered through segment-indexed addressing.
+//!
+//! ```text
+//! cargo run -p vip --example segmentation_grow
+//! ```
+
+use vip::core::addressing::indexed::accumulate_segment_stats;
+use vip::core::addressing::segment::SegmentOptions;
+use vip::core::frame::Frame;
+use vip::core::geometry::{Dims, Point};
+use vip::core::neighborhood::Connectivity;
+use vip::core::ops::segment_ops::HomogeneityCriterion;
+use vip::core::pixel::Pixel;
+use vip::engine::{AddressEngine, EngineConfig, EngineError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A frame with three homogeneous regions: dark sky, a mid-grey
+    // building block, and a bright sun disc.
+    let dims = Dims::new(96, 64);
+    let frame = Frame::from_fn(dims, |p| {
+        let in_building = p.x >= 20 && p.x < 60 && p.y >= 28 && p.y < 64;
+        let dx = p.x - 78;
+        let dy = p.y - 14;
+        let in_sun = dx * dx + dy * dy < 81;
+        let luma = if in_sun {
+            230 + (p.x % 6) as u8
+        } else if in_building {
+            100 + ((p.x + p.y) % 9) as u8
+        } else {
+            30 + (p.y % 7) as u8
+        };
+        Pixel::from_luma(luma)
+    });
+
+    // The DATE 2005 prototype rejects segment calls…
+    let mut v1 = AddressEngine::new(EngineConfig::prototype())?;
+    let err = v1.run_segment(
+        &frame,
+        &[Point::new(40, 40)],
+        &HomogeneityCriterion::luma(12),
+        SegmentOptions::default(),
+    );
+    match err {
+        Err(EngineError::UnsupportedCapability { capability }) => {
+            println!("v1 engine: rejected as expected — {capability}");
+        }
+        other => panic!("v1 engine should reject segment calls, got {other:?}"),
+    }
+
+    // …while the §5 outlook configuration executes them.
+    let mut v2 = AddressEngine::new(EngineConfig::outlook_v2())?;
+    let mut labelled = frame.clone();
+    let seeds = [
+        ("sky", Point::new(2, 2), 1u16),
+        ("building", Point::new(40, 40), 2),
+        ("sun", Point::new(78, 14), 3),
+    ];
+    for (name, seed, label) in seeds {
+        let run = v2.run_segment(
+            &labelled,
+            &[seed],
+            &HomogeneityCriterion::luma(12),
+            SegmentOptions {
+                connectivity: Connectivity::Con8,
+                label,
+                ..SegmentOptions::default()
+            },
+        )?;
+        println!(
+            "{name:<9} seed {seed}: {} pixels, geodesic radius {}, call time {:.3} ms",
+            run.result.segment.len(),
+            run.result.max_distance(),
+            run.report.timeline.total * 1e3,
+        );
+        // Carry the labels forward so later segments do not re-grow over
+        // earlier ones (their alpha is non-zero already).
+        labelled = run.result.output;
+    }
+
+    // Segment-indexed addressing: one table record per label.
+    let table = accumulate_segment_stats(&labelled)?;
+    println!("\nlabel  area   mean-luma  bbox");
+    for (label, rec) in table.as_ref().iter().enumerate().skip(1) {
+        if rec.area > 0 {
+            println!(
+                "{label:>5}  {:>5}  {:>9.1}  ({}, {})..({}, {})",
+                rec.area,
+                rec.mean_luma(),
+                rec.min.0,
+                rec.min.1,
+                rec.max.0,
+                rec.max.1
+            );
+        }
+    }
+    let building = &table.as_ref()[2];
+    assert_eq!(building.area, 40 * 36, "building region fully grown");
+    println!("\noutlook engine stats: {}", v2.stats());
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the simulated AddressEngine must be
+//! bit-exact with the software AddressLib on realistic synthetic video
+//! content, and its memory traffic must match the Table 2 model.
+
+use vip::core::addressing::{inter, intra};
+use vip::core::geometry::Dims;
+use vip::core::ops::arith::{AbsDiff, ChangeMask};
+use vip::core::ops::filter::{Binomial3, SobelGradient};
+use vip::core::ops::morph::MorphGradient;
+use vip::engine::{AddressEngine, EngineConfig};
+use vip::video::TestSequence;
+
+/// Every Table 3 sequence, rendered small, processed by both paths.
+#[test]
+fn engine_matches_software_on_all_sequences() {
+    for seq in TestSequence::table3() {
+        let small = seq.scaled(48, 32, 2);
+        let f0 = small.render_frame(0);
+        let f1 = small.render_frame(1);
+
+        let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+
+        let hw_sobel = engine.run_intra(&f0, &SobelGradient::new()).unwrap();
+        let sw_sobel = intra::run_intra(&f0, &SobelGradient::new()).unwrap();
+        assert_eq!(hw_sobel.output, sw_sobel.output, "{} sobel", seq.name());
+
+        let hw_diff = engine.run_inter(&f0, &f1, &AbsDiff::luma()).unwrap();
+        let sw_diff = inter::run_inter(&f0, &f1, &AbsDiff::luma()).unwrap();
+        assert_eq!(hw_diff.output, sw_diff.output, "{} diff", seq.name());
+    }
+}
+
+/// A multi-call pipeline (smooth → gradient → change detect) stays
+/// bit-exact through the engine end to end.
+#[test]
+fn chained_calls_bit_exact() {
+    let seq = TestSequence::pisa().scaled(40, 40, 2);
+    let f0 = seq.render_frame(0);
+    let f1 = seq.render_frame(1);
+
+    let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+    let hw = {
+        let s = engine.run_intra(&f0, &Binomial3::new()).unwrap().output;
+        let g = engine.run_intra(&s, &MorphGradient::con8()).unwrap().output;
+        engine.run_inter(&g, &f1, &ChangeMask::new(30)).unwrap().output
+    };
+    let sw = {
+        let s = intra::run_intra(&f0, &Binomial3::new()).unwrap().output;
+        let g = intra::run_intra(&s, &MorphGradient::con8()).unwrap().output;
+        inter::run_inter(&g, &f1, &ChangeMask::new(30)).unwrap().output
+    };
+    assert_eq!(hw, sw);
+    assert_eq!(engine.stats().intra_calls, 2);
+    assert_eq!(engine.stats().inter_calls, 1);
+}
+
+/// The engine's hardware access count over a detailed run equals the
+/// analytic Table 2 hardware model, for every call the pipeline makes.
+#[test]
+fn hardware_traffic_matches_table2_model() {
+    let seq = TestSequence::dome().scaled(32, 32, 2);
+    let f0 = seq.render_frame(0);
+    let f1 = seq.render_frame(1);
+    let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+
+    let runs = [
+        engine.run_intra(&f0, &Binomial3::new()).unwrap(),
+        engine.run_intra(&f0, &SobelGradient::new()).unwrap(),
+        engine.run_inter(&f0, &f1, &AbsDiff::luma()).unwrap(),
+    ];
+    for run in &runs {
+        assert_eq!(
+            run.report.hardware_accesses, run.report.access_model.hardware_accesses,
+            "{}",
+            run.report.descriptor
+        );
+        assert_eq!(run.report.hardware_accesses, 2 * 32 * 32);
+    }
+}
+
+/// CIF-scale analytic calls: the timing shapes §4.1 describes.
+#[test]
+fn cif_call_timing_shape() {
+    let dims = Dims::new(352, 288);
+    let seq = TestSequence::singapore();
+    assert_eq!(seq.dims(), dims);
+    // Render only once (CIF rendering is the slow part in debug builds).
+    let f = seq.render_frame(0);
+    let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
+
+    let intra_run = engine.run_intra(&f, &SobelGradient::new()).unwrap();
+    let inter_run = engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap();
+
+    // Intra ≈ 6 ms, inter ≈ 10 ms at 66 MHz (PCI bound).
+    assert!(
+        intra_run.report.timeline.total > 0.005 && intra_run.report.timeline.total < 0.008,
+        "intra {}",
+        intra_run.report.timeline.total
+    );
+    assert!(
+        inter_run.report.timeline.total > 0.009 && inter_run.report.timeline.total < 0.012,
+        "inter {}",
+        inter_run.report.timeline.total
+    );
+    // PCI dominates both.
+    assert!(intra_run.report.timeline.pci_utilisation() > 0.85);
+    assert!(inter_run.report.timeline.pci_utilisation() > 0.85);
+    // The special-inter non-PCI overhead ≈ 12.5 % of the inbound time.
+    let frac = inter_run.report.timeline.non_pci_of_input();
+    assert!((frac - 0.125).abs() < 0.03, "{frac}");
+}
