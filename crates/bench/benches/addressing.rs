@@ -1,7 +1,7 @@
-//! Criterion benches: software AddressLib throughput per addressing
-//! scheme and neighbourhood shape (the Table 2 workloads as wall time).
+//! Micro-benches: software AddressLib throughput per addressing scheme
+//! and neighbourhood shape (the Table 2 workloads as wall time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vip_bench::harness::Bench;
 use vip_core::addressing::inter::run_inter;
 use vip_core::addressing::intra::run_intra;
 use vip_core::addressing::segment::{run_segment, SegmentOptions};
@@ -18,61 +18,46 @@ fn qcif_frame(seed: u8) -> Frame {
     })
 }
 
-fn bench_intra(c: &mut Criterion) {
+fn bench_intra() {
     let frame = qcif_frame(1);
-    let px = frame.pixel_count() as u64;
-    let mut g = c.benchmark_group("software_intra_qcif");
-    g.throughput(Throughput::Elements(px));
-    g.bench_function("con0_identity", |b| {
-        b.iter(|| run_intra(&frame, &Identity::luma()).unwrap())
-    });
-    g.bench_function("con8_boxblur", |b| {
-        b.iter(|| run_intra(&frame, &BoxBlur::con8()).unwrap())
-    });
-    g.bench_function("sq4_boxblur", |b| {
-        let op = BoxBlur::with_radius(4).unwrap();
-        b.iter(|| run_intra(&frame, &op).unwrap())
-    });
-    g.finish();
+    let g = Bench::group("software_intra_qcif");
+    g.run("con0_identity", || run_intra(&frame, &Identity::luma()).unwrap());
+    g.run("con8_boxblur", || run_intra(&frame, &BoxBlur::con8()).unwrap());
+    let op = BoxBlur::with_radius(4).unwrap();
+    g.run("sq4_boxblur", || run_intra(&frame, &op).unwrap());
 }
 
-fn bench_inter(c: &mut Criterion) {
+fn bench_inter() {
     let a = qcif_frame(1);
-    let b2 = qcif_frame(2);
-    let mut g = c.benchmark_group("software_inter_qcif");
-    g.throughput(Throughput::Elements(a.pixel_count() as u64));
-    g.bench_function("absdiff_y", |b| {
-        b.iter(|| run_inter(&a, &b2, &AbsDiff::luma()).unwrap())
-    });
-    g.bench_function("absdiff_yuv", |b| {
-        b.iter(|| run_inter(&a, &b2, &AbsDiff::yuv()).unwrap())
-    });
-    g.finish();
+    let b = qcif_frame(2);
+    let g = Bench::group("software_inter_qcif");
+    g.run("absdiff_y", || run_inter(&a, &b, &AbsDiff::luma()).unwrap());
+    g.run("absdiff_yuv", || run_inter(&a, &b, &AbsDiff::yuv()).unwrap());
 }
 
-fn bench_segment(c: &mut Criterion) {
+fn bench_segment() {
     // Flat frame: the segment floods a bounded region.
     let frame = Frame::filled(Dims::new(128, 128), Pixel::from_luma(100));
-    let mut g = c.benchmark_group("software_segment");
+    let g = Bench::group("software_segment");
     for budget in [256usize, 4096] {
-        g.bench_with_input(BenchmarkId::new("flood", budget), &budget, |b, &budget| {
-            let opts = SegmentOptions {
-                max_pixels: Some(budget),
-                ..SegmentOptions::default()
-            };
-            b.iter(|| {
-                run_segment(
-                    &frame,
-                    &[Point::new(64, 64)],
-                    &HomogeneityCriterion::luma(5),
-                    opts,
-                )
-                .unwrap()
-            })
+        let opts = SegmentOptions {
+            max_pixels: Some(budget),
+            ..SegmentOptions::default()
+        };
+        g.run(&format!("flood_{budget}"), || {
+            run_segment(
+                &frame,
+                &[Point::new(64, 64)],
+                &HomogeneityCriterion::luma(5),
+                opts,
+            )
+            .unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_intra, bench_inter, bench_segment);
-criterion_main!(benches);
+fn main() {
+    bench_intra();
+    bench_inter();
+    bench_segment();
+}

@@ -1,8 +1,8 @@
-//! Criterion benches: engine-simulator cost — analytic vs cycle-stepped
+//! Micro-benches: engine-simulator cost — analytic vs cycle-stepped
 //! fidelity, and per-call dispatch overhead (the simulator's own
 //! performance, not the modelled FPGA time).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vip_bench::harness::Bench;
 use vip_core::frame::Frame;
 use vip_core::geometry::Dims;
 use vip_core::ops::arith::AbsDiff;
@@ -14,47 +14,38 @@ fn frame(dims: Dims) -> Frame {
     Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 11 + p.y * 3) % 256) as u8))
 }
 
-fn bench_fidelity(c: &mut Criterion) {
+fn bench_fidelity() {
     let dims = Dims::new(64, 64);
     let f = frame(dims);
-    let mut g = c.benchmark_group("engine_call_64x64");
-    g.throughput(Throughput::Elements(dims.pixel_count() as u64));
+    let g = Bench::group("engine_call_64x64");
 
-    g.bench_function("analytic_intra", |b| {
-        let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
-        b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
-    });
-    g.bench_function("detailed_intra", |b| {
-        let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
-        b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
-    });
-    g.bench_function("analytic_inter", |b| {
-        let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
-        b.iter(|| engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap())
-    });
-    g.bench_function("detailed_inter", |b| {
-        let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
-        b.iter(|| engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap())
-    });
-    g.finish();
+    let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
+    g.run("analytic_intra", || engine.run_intra(&f, &BoxBlur::con8()).unwrap());
+    let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+    g.run("detailed_intra", || engine.run_intra(&f, &BoxBlur::con8()).unwrap());
+    let mut engine = AddressEngine::new(EngineConfig::prototype()).unwrap();
+    g.run("analytic_inter", || engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap());
+    let mut engine = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+    g.run("detailed_inter", || engine.run_inter(&f, &f, &AbsDiff::luma()).unwrap());
 }
 
-fn bench_drain_ablation(c: &mut Criterion) {
+fn bench_drain_ablation() {
     // Simulator wall time per drain configuration (the modelled-time
     // ablation lives in the `ablation` binary).
     let dims = Dims::new(48, 48);
     let f = frame(dims);
-    let mut g = c.benchmark_group("detailed_sim_drain");
+    let g = Bench::group("detailed_sim_drain");
     for drain in [1u64, 2, 4] {
-        g.bench_function(format!("drain_{drain}cyc"), |b| {
-            let mut cfg = EngineConfig::prototype_detailed();
-            cfg.oim_drain_cycles_per_pixel = drain;
-            let mut engine = AddressEngine::new(cfg).unwrap();
-            b.iter(|| engine.run_intra(&f, &BoxBlur::con8()).unwrap())
+        let mut cfg = EngineConfig::prototype_detailed();
+        cfg.oim_drain_cycles_per_pixel = drain;
+        let mut engine = AddressEngine::new(cfg).unwrap();
+        g.run(&format!("drain_{drain}cyc"), || {
+            engine.run_intra(&f, &BoxBlur::con8()).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fidelity, bench_drain_ablation);
-criterion_main!(benches);
+fn main() {
+    bench_fidelity();
+    bench_drain_ablation();
+}

@@ -1,7 +1,7 @@
-//! Criterion benches: global motion estimation — per-frame-pair cost by
+//! Micro-benches: global motion estimation — per-frame-pair cost by
 //! motion model, pyramid construction, and warping.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vip_bench::harness::Bench;
 use vip_core::frame::Frame;
 use vip_core::geometry::Dims;
 use vip_core::pixel::Pixel;
@@ -27,55 +27,50 @@ fn shifted(dims: Dims, dx: f64) -> Frame {
     })
 }
 
-fn bench_estimate(c: &mut Criterion) {
+fn bench_estimate() {
     let dims = Dims::new(96, 80);
     let reference = textured(dims);
     let current = shifted(dims, 2.0);
-    let mut g = c.benchmark_group("gme_estimate_96x80");
-    g.throughput(Throughput::Elements(dims.pixel_count() as u64));
-    for model in [MotionModel::Translational, MotionModel::Affine, MotionModel::Perspective] {
-        g.bench_function(format!("{model}"), |b| {
-            let est = Estimator::new(GmeConfig {
-                model,
-                ..GmeConfig::default()
-            });
-            b.iter(|| {
-                let mut backend = SoftwareBackend::new();
-                est.estimate(&reference, &current, Motion::identity(), &mut backend)
-                    .unwrap()
-            })
-        });
-    }
-    g.bench_function("affine_subsample2", |b| {
+    let g = Bench::group("gme_estimate_96x80");
+    for model in [
+        MotionModel::Translational,
+        MotionModel::Affine,
+        MotionModel::Perspective,
+    ] {
         let est = Estimator::new(GmeConfig {
-            subsample: 2,
+            model,
             ..GmeConfig::default()
         });
-        b.iter(|| {
+        g.run(&format!("{model}"), || {
             let mut backend = SoftwareBackend::new();
             est.estimate(&reference, &current, Motion::identity(), &mut backend)
                 .unwrap()
-        })
+        });
+    }
+    let est = Estimator::new(GmeConfig {
+        subsample: 2,
+        ..GmeConfig::default()
     });
-    g.finish();
+    g.run("affine_subsample2", || {
+        let mut backend = SoftwareBackend::new();
+        est.estimate(&reference, &current, Motion::identity(), &mut backend)
+            .unwrap()
+    });
 }
 
-fn bench_pyramid_and_warp(c: &mut Criterion) {
+fn bench_pyramid_and_warp() {
     let dims = Dims::new(96, 80);
     let f = textured(dims);
-    let mut g = c.benchmark_group("gme_components");
-    g.bench_function("pyramid_3_levels", |b| {
-        b.iter(|| {
-            let mut backend = SoftwareBackend::new();
-            Pyramid::build(&f, 3, &mut backend).unwrap()
-        })
+    let g = Bench::group("gme_components");
+    g.run("pyramid_3_levels", || {
+        let mut backend = SoftwareBackend::new();
+        Pyramid::build(&f, 3, &mut backend).unwrap()
     });
-    g.bench_function("warp_affine", |b| {
-        let m = Motion::similarity(1.02, 0.01, 1.5, -0.5);
-        b.iter(|| vip_gme::warp::warp_frame(&f, &m))
-    });
-    g.finish();
+    let m = Motion::similarity(1.02, 0.01, 1.5, -0.5);
+    g.run("warp_affine", || vip_gme::warp::warp_frame(&f, &m));
 }
 
-criterion_group!(benches, bench_estimate, bench_pyramid_and_warp);
-criterion_main!(benches);
+fn main() {
+    bench_estimate();
+    bench_pyramid_and_warp();
+}

@@ -1,8 +1,8 @@
-//! Criterion benches: neighbourhood delivery strategies — software
-//! window gathering vs the IIM's single-cycle fetch vs matrix-register
-//! reuse (the design point fig. 4 motivates).
+//! Micro-benches: neighbourhood delivery strategies — software window
+//! gathering vs the IIM's single-cycle fetch vs matrix-register reuse
+//! (the design point fig. 4 motivates).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vip_bench::harness::Bench;
 use vip_core::border::BorderPolicy;
 use vip_core::frame::Frame;
 use vip_core::geometry::{Dims, Point};
@@ -15,70 +15,65 @@ fn frame(dims: Dims) -> Frame {
     Frame::from_fn(dims, |p| Pixel::from_luma(((p.x + p.y * 5) % 256) as u8))
 }
 
-fn bench_gather(c: &mut Criterion) {
+fn bench_gather() {
     let dims = Dims::new(64, 64);
     let f = frame(dims);
-    let mut g = c.benchmark_group("window_gather_row");
-    g.throughput(Throughput::Elements(62));
-    for shape in [Connectivity::Con0, Connectivity::Con4, Connectivity::Con8, Connectivity::Square(4)] {
-        g.bench_function(format!("{shape}"), |b| {
-            b.iter(|| {
-                let mut acc = 0u32;
-                for x in 1..63 {
-                    let w = Window::gather(&f, Point::new(x, 32), shape, BorderPolicy::Clamp);
-                    acc = acc.wrapping_add(u32::from(w.centre_pixel().y));
-                }
-                acc
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_iim_fetch(c: &mut Criterion) {
-    let dims = Dims::new(64, 64);
-    let f = frame(dims);
-    let mut g = c.benchmark_group("iim_fetch_row");
-    g.throughput(Throughput::Elements(62));
-    g.bench_function("con8", |b| {
-        let mut iim = Iim::new(64, 64);
-        for l in 0..64 {
-            iim.load_line(l, f.line(l));
-        }
-        b.iter(|| {
-            let mut acc = 0usize;
+    let g = Bench::group("window_gather_row");
+    for shape in [
+        Connectivity::Con0,
+        Connectivity::Con4,
+        Connectivity::Con8,
+        Connectivity::Square(4),
+    ] {
+        g.run(&format!("{shape}"), || {
+            let mut acc = 0u32;
             for x in 1..63 {
-                let w = iim
-                    .fetch_window(Point::new(x, 32), Connectivity::Con8, dims, BorderPolicy::Clamp)
-                    .unwrap();
-                acc += w.len();
+                let w = Window::gather(&f, Point::new(x, 32), shape, BorderPolicy::Clamp);
+                acc = acc.wrapping_add(u32::from(w.centre_pixel().y));
             }
             acc
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_matrix_shift(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matrix_register");
+fn bench_iim_fetch() {
+    let dims = Dims::new(64, 64);
+    let f = frame(dims);
+    let g = Bench::group("iim_fetch_row");
+    let mut iim = Iim::new(64, 64);
+    for l in 0..64 {
+        iim.load_line(l, f.line(l));
+    }
+    g.run("con8", || {
+        let mut acc = 0usize;
+        for x in 1..63 {
+            let w = iim
+                .fetch_window(Point::new(x, 32), Connectivity::Con8, dims, BorderPolicy::Clamp)
+                .unwrap();
+            acc += w.len();
+        }
+        acc
+    });
+}
+
+fn bench_matrix_shift() {
+    let g = Bench::group("matrix_register");
     let col = vec![Pixel::from_luma(7); 3];
-    g.bench_function("shift_vs_load", |b| {
-        let mut m = MatrixRegister::new(Connectivity::Con8);
+    let mut m = MatrixRegister::new(Connectivity::Con8);
+    m.load(vec![col.clone(), col.clone(), col.clone()]);
+    g.run("shift_vs_load", || {
+        m.shift(col.clone());
+        m.centre()
+    });
+    let mut m = MatrixRegister::new(Connectivity::Con8);
+    g.run("full_load", || {
         m.load(vec![col.clone(), col.clone(), col.clone()]);
-        b.iter(|| {
-            m.shift(col.clone());
-            m.centre()
-        })
+        m.centre()
     });
-    g.bench_function("full_load", |b| {
-        let mut m = MatrixRegister::new(Connectivity::Con8);
-        b.iter(|| {
-            m.load(vec![col.clone(), col.clone(), col.clone()]);
-            m.centre()
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(benches, bench_gather, bench_iim_fetch, bench_matrix_shift);
-criterion_main!(benches);
+fn main() {
+    bench_gather();
+    bench_iim_fetch();
+    bench_matrix_shift();
+}

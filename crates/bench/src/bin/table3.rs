@@ -13,7 +13,7 @@
 //! cargo run --release -p vip-bench --bin table3 -- --quick # 88×72, 12 frames
 //! ```
 
-use vip_bench::{fmt_minutes, run_table3_row};
+use vip_bench::{fmt_minutes, run_table3_row, table3_rows_to_json};
 use vip_video::TestSequence;
 
 fn main() {
@@ -59,11 +59,7 @@ fn main() {
     }
     if json {
         let path = "table3.json";
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&rows).expect("rows serialise"),
-        )
-        .expect("write table3.json");
+        std::fs::write(path, table3_rows_to_json(&rows)).expect("write table3.json");
         println!("\nwrote machine-readable rows to {path}");
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;

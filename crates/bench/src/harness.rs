@@ -1,0 +1,108 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Stands in for criterion in this no-network workspace: the `benches/`
+//! targets (`harness = false`) call [`Bench::run`] with the same workloads
+//! the criterion groups used to wrap, and print a fixed-width table of
+//! per-iteration times. No statistics beyond min/mean — the targets exist
+//! to catch gross regressions and to keep the workloads compiling.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of micro-benchmarks, printed as one table.
+#[derive(Debug)]
+pub struct Bench {
+    group: &'static str,
+    /// Minimum measurement time per case.
+    budget: Duration,
+}
+
+impl Bench {
+    /// Creates a group with the default 200 ms per-case budget.
+    #[must_use]
+    pub fn group(name: &'static str) -> Self {
+        println!("\n== {name} ==");
+        Bench {
+            group: name,
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the per-case measurement budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Measures `f`, printing mean and best per-iteration time. The
+    /// closure's result is passed through [`black_box`] so the work is
+    /// not optimised away.
+    pub fn run<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // budget without timing each call individually.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch = ((self.budget.as_secs_f64() / 5.0) / once.as_secs_f64())
+            .ceil()
+            .clamp(1.0, 1e7) as u64;
+
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut iters = 0u64;
+        while total < self.budget.as_secs_f64() {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let batch = start.elapsed().as_secs_f64();
+            best = best.min(batch / per_batch as f64);
+            total += batch;
+            iters += per_batch;
+        }
+        let mean = total / iters as f64;
+        println!(
+            "{:<34} mean {:>12}  best {:>12}  ({iters} iters)",
+            format!("{}/{case}", self.group),
+            fmt_time(mean),
+            fmt_time(best),
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_measures_and_terminates() {
+        let b = Bench::group("test").with_budget(Duration::from_millis(5));
+        let mut calls = 0u64;
+        b.run("noop", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-8), "25.0 ns");
+    }
+}

@@ -17,9 +17,12 @@
 //! | `pci_overhead`  | §4.1 — the 12.5 % special-inter overhead           |
 //! | `ablation`      | design-choice sweeps (strip size, overlap, clock)  |
 
+pub mod harness;
+
 use std::time::Duration;
 
 use vip_gme::{EngineBackend, GmeConfig, SequenceRunner};
+use vip_obs::json::JsonWriter;
 use vip_video::TestSequence;
 
 /// Formats seconds like the paper's Table 3 (`4'35''`).
@@ -41,7 +44,7 @@ pub fn fmt_duration(d: Duration) -> String {
 }
 
 /// One Table 3 row as produced by a GME run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Sequence name.
     pub name: &'static str,
@@ -70,6 +73,42 @@ impl Table3Row {
         }
         self.pm_seconds / self.fpga_seconds
     }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("name");
+        w.string(self.name);
+        w.key("frames");
+        w.u64(self.frames as u64);
+        w.key("pm_seconds");
+        w.f64(self.pm_seconds);
+        w.key("fpga_seconds");
+        w.f64(self.fpga_seconds);
+        w.key("speedup");
+        w.f64(self.speedup());
+        w.key("intra_calls");
+        w.u64(self.intra_calls);
+        w.key("inter_calls");
+        w.u64(self.inter_calls);
+        w.key("harness_seconds");
+        w.f64(self.harness_seconds);
+        w.key("mean_truth_error");
+        w.f64(self.mean_truth_error);
+        w.end_object();
+    }
+}
+
+/// Serialises Table 3 rows to a JSON array (machine-readable `--json`
+/// output), using the in-workspace writer instead of serde_json.
+#[must_use]
+pub fn table3_rows_to_json(rows: &[Table3Row]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_array();
+    for row in rows {
+        row.write_json(&mut w);
+    }
+    w.end_array();
+    w.finish()
 }
 
 /// Runs one sequence through GME on the engine backend and produces its
@@ -133,6 +172,23 @@ mod tests {
     fn fmt_duration_units() {
         assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50 s");
         assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50 ms");
+    }
+
+    #[test]
+    fn table3_json_round_trips_through_validator() {
+        let rows = vec![Table3Row {
+            name: "movie",
+            frames: 4,
+            pm_seconds: 1.5,
+            fpga_seconds: 0.5,
+            intra_calls: 10,
+            inter_calls: 7,
+            harness_seconds: 0.01,
+            mean_truth_error: 0.25,
+        }];
+        let json = table3_rows_to_json(&rows);
+        vip_obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"speedup\":3"), "{json}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use vip_core::geometry::Dims;
 use vip_core::scan::{strips, ScanOrder};
+use vip_obs::{Recorder, Track};
 
 use crate::clock::Cycles;
 use crate::config::{EngineConfig, InterOverlap};
@@ -85,6 +86,67 @@ impl DmaSchedule {
             .sum::<u64>()
             + self.output_halves.iter().map(|t| t.cycles.count()).sum::<u64>();
         payload as f64 / self.end.count() as f64
+    }
+
+    /// Publishes the schedule onto the observability bus: one span per
+    /// input strip and result half on the PCI track, plus the enclosing
+    /// input/output phases on the DMA track. `t0_ns` is the call-issue
+    /// time on the session's virtual clock, `pci_hz` the PCI clock used
+    /// to convert bus cycles to nanoseconds.
+    pub fn emit(&self, recorder: &Recorder, t0_ns: u64, pci_hz: f64) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        let ns = |c: Cycles| t0_ns + (c.count() as f64 / pci_hz * 1e9).round() as u64;
+        for s in &self.input_strips {
+            recorder.span(
+                Track::Pci,
+                "strip_in",
+                ns(s.transfer.start),
+                ns(s.transfer.end()),
+                &[
+                    ("strip", (s.strip as u64).into()),
+                    ("image", (s.image as u64).into()),
+                    (
+                        "block",
+                        match s.block {
+                            StripBlock::BlockA => "A",
+                            StripBlock::BlockB => "B",
+                        }
+                        .into(),
+                    ),
+                    ("bytes", (s.transfer.bytes as u64).into()),
+                ],
+            );
+        }
+        if let Some(first) = self.input_strips.first() {
+            recorder.span(
+                Track::Dma,
+                "input_dma",
+                ns(first.transfer.start),
+                ns(self.input_end),
+                &[("strips", (self.input_strips.len() as u64).into())],
+            );
+        }
+        for (half, t) in self.output_halves.iter().enumerate() {
+            recorder.span(
+                Track::Pci,
+                "result_out",
+                ns(t.start),
+                ns(t.end()),
+                &[
+                    ("half", (half as u64).into()),
+                    ("bytes", (t.bytes as u64).into()),
+                ],
+            );
+        }
+        recorder.span(
+            Track::Dma,
+            "output_dma",
+            ns(self.output_halves[0].start),
+            ns(self.output_halves[1].end()),
+            &[],
+        );
     }
 }
 
@@ -294,6 +356,22 @@ mod tests {
         let s = schedule_intra_call(CIF, &c);
         assert_eq!(s.input_strips[0].transfer.start, Cycles(5_000));
         assert!(s.end.count() > 5_000);
+    }
+
+    #[test]
+    fn emitted_spans_cover_the_schedule() {
+        let c = cfg();
+        let s = schedule_intra_call(CIF, &c);
+        let session = vip_obs::Session::new();
+        s.emit(&session.recorder(), 0, c.pci_clock.hz);
+        let recording = session.finish();
+        // 18 strips + 2 result halves on PCI; input + output phase on DMA.
+        assert_eq!(recording.on_track(Track::Pci).len(), 20);
+        assert_eq!(recording.on_track(Track::Dma).len(), 2);
+        let end_ns = (s.end.count() as f64 / c.pci_clock.hz * 1e9) as u64;
+        assert!(recording.events.iter().all(|e| e.end_ns() <= end_ns + 1_000));
+        // Disabled recorder records nothing (and must not panic).
+        s.emit(&Recorder::disabled(), 0, c.pci_clock.hz);
     }
 
     #[test]

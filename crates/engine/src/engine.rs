@@ -37,12 +37,15 @@ use vip_core::geometry::Point;
 use vip_core::ops::segment_ops::NeighborCriterion;
 use vip_core::ops::{InterOp, IntraOp};
 use vip_core::pixel::ChannelSet;
+use vip_obs::{Recorder, Registry, Track};
 
-use crate::config::{EngineConfig, SimulationFidelity};
+use crate::config::{EngineConfig, InterOverlap, SimulationFidelity};
+use crate::dma::{schedule_inter_call, schedule_intra_call, DmaSchedule};
 use crate::error::{EngineError, EngineResult};
-use crate::process_unit::{run_inter_detailed, run_intra_detailed};
-use crate::report::{EngineReport, EngineStats};
+use crate::process_unit::{run_inter_detailed_probed, run_intra_detailed_probed, PuProbe};
+use crate::report::{record_into, stats_from_registry, EngineReport, EngineStats};
 use crate::timing::{inter_timeline, intra_timeline, segment_timeline};
+use crate::trace::{emit_trace, seconds_to_ns, trace_of};
 use crate::zbt::{ZbtMemory, ZbtRegion};
 
 /// One completed engine call: the produced frame plus its report.
@@ -69,7 +72,13 @@ pub struct EngineSegmentRun {
 pub struct AddressEngine {
     config: EngineConfig,
     zbt: ZbtMemory,
-    stats: EngineStats,
+    /// Metric accumulation; the [`EngineStats`] facade derives from it.
+    metrics: Registry,
+    /// Observability bus handle; disabled by default.
+    recorder: Recorder,
+    /// Virtual clock: nanoseconds of simulated time consumed by completed
+    /// calls, so successive calls occupy disjoint trace windows.
+    clock_ns: u64,
     /// Number of stage-trace cycles recorded per detailed call.
     trace_limit: usize,
 }
@@ -87,7 +96,9 @@ impl AddressEngine {
         Ok(AddressEngine {
             config,
             zbt,
-            stats: EngineStats::default(),
+            metrics: Registry::new(),
+            recorder: Recorder::disabled(),
+            clock_ns: 0,
             trace_limit: 0,
         })
     }
@@ -98,21 +109,124 @@ impl AddressEngine {
         &self.config
     }
 
-    /// Accumulated call statistics (the Table 3 counters).
+    /// Accumulated call statistics (the Table 3 counters), derived from
+    /// the metrics registry.
     #[must_use]
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    pub fn stats(&self) -> EngineStats {
+        stats_from_registry(&self.metrics)
     }
 
-    /// Clears the accumulated statistics.
+    /// The full metrics registry behind [`AddressEngine::stats`]:
+    /// per-subsystem counters, the call-latency histogram, stall tallies.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Clears the accumulated statistics and rewinds the virtual clock.
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+        self.metrics.clear();
+        self.clock_ns = 0;
+    }
+
+    /// Attaches an observability recorder: every subsequent call emits
+    /// schedule instants plus PCI/DMA/ZBT/IIM/OIM/PU/PLC spans onto it.
+    /// Pass [`Recorder::disabled`] to detach.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled unless set).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Nanoseconds of simulated time consumed by completed calls.
+    #[must_use]
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
     }
 
     /// Enables recording of the first `cycles` stage-occupancy snapshots
     /// of each detailed call (the fig. 5 trace).
     pub fn set_trace_limit(&mut self, cycles: usize) {
         self.trace_limit = cycles;
+    }
+
+    /// A probe for the cycle-stepped datapath whose cycle 0 sits at
+    /// `processing_start_s` seconds into the current call.
+    fn pu_probe(&self, processing_start_s: f64) -> PuProbe {
+        if !self.recorder.is_enabled() {
+            return PuProbe::disabled();
+        }
+        PuProbe::new(
+            self.recorder.clone(),
+            self.clock_ns + seconds_to_ns(processing_start_s),
+            1e9 / self.config.engine_clock.hz,
+        )
+    }
+
+    /// Seconds from call issue until the given PCI cycle count.
+    fn pci_seconds(&self, cycles: crate::clock::Cycles) -> f64 {
+        cycles.count() as f64 / self.config.pci_clock.hz
+    }
+
+    /// Folds the report into the metrics registry, publishes the
+    /// call-level trace (schedule instants, PCI/DMA spans, ZBT bank
+    /// activity), and advances the virtual clock past the call.
+    fn finish_call(
+        &mut self,
+        name: &'static str,
+        report: &EngineReport,
+        schedule: Option<&DmaSchedule>,
+    ) {
+        record_into(&mut self.metrics, report);
+        if self.recorder.is_enabled() {
+            let t0 = self.clock_ns;
+            let end = t0 + seconds_to_ns(report.timeline.total);
+            self.recorder.span(
+                Track::Engine,
+                name,
+                t0,
+                end,
+                &[
+                    ("busy_s", report.timeline.total.into()),
+                    ("hardware_accesses", report.hardware_accesses.into()),
+                ],
+            );
+            emit_trace(&self.recorder, t0, &trace_of(&report.timeline));
+            if let Some(s) = schedule {
+                s.emit(&self.recorder, t0, self.config.pci_clock.hz);
+            }
+            if report.processing.is_some() {
+                self.emit_zbt_spans(t0, report);
+            }
+        }
+        self.clock_ns += seconds_to_ns(report.timeline.total);
+    }
+
+    /// One `bank_active` span per ZBT bank that saw traffic during the
+    /// call, covering input arrival through result drain. Bank counters
+    /// are valid here because every detailed run resets them first.
+    fn emit_zbt_spans(&self, t0: u64, report: &EngineReport) {
+        let start = t0 + seconds_to_ns(report.timeline.interrupt_overhead / 2.0);
+        let end = t0 + seconds_to_ns(report.timeline.drain_end);
+        for (bank, s) in self.zbt.stats().iter().enumerate() {
+            if s.total() == 0 {
+                continue;
+            }
+            self.recorder.span(
+                Track::ZbtBank(bank as u8),
+                "bank_active",
+                start,
+                end,
+                &[
+                    ("word_reads", s.word_reads.into()),
+                    ("word_writes", s.word_writes.into()),
+                ],
+            );
+        }
     }
 
     fn check_fits(&self, frame: &Frame) -> EngineResult<()> {
@@ -183,17 +297,30 @@ impl AddressEngine {
                 capability: "non-clamp border policies in the cycle-stepped datapath",
             });
         }
+        // The strip schedule doubles as the trace's PCI/DMA span source
+        // and the processing-phase time origin; only built when recording.
+        let schedule = self
+            .recorder
+            .is_enabled()
+            .then(|| schedule_intra_call(frame.dims(), &self.config));
         let (output, hardware_accesses, processing) = match self.config.fidelity {
             SimulationFidelity::Detailed => {
                 self.load_region(ZbtRegion::InputA, frame)?;
                 self.zbt.reset_stats();
-                let stats = run_intra_detailed(
+                // Processing starts once the first strip has landed.
+                let probe = self.pu_probe(
+                    schedule
+                        .as_ref()
+                        .map_or(0.0, |s| self.pci_seconds(s.input_strips[0].transfer.end())),
+                );
+                let stats = run_intra_detailed_probed(
                     &mut self.zbt,
                     frame.dims(),
                     op,
                     border,
                     &self.config,
                     self.trace_limit,
+                    &probe,
                 )?;
                 let hw = self.zbt.pixel_access_cycles();
                 (self.unload_result(frame.dims())?, hw, Some(stats))
@@ -218,7 +345,7 @@ impl AddressEngine {
             hardware_accesses,
             processing,
         };
-        self.stats.record(&report);
+        self.finish_call("intra_call", &report, schedule.as_ref());
         Ok(EngineRun { output, report })
     }
 
@@ -245,17 +372,32 @@ impl AddressEngine {
         let timeline = inter_timeline(a.dims(), &self.config);
         let access_model = AccessModel::for_call(&descriptor, a.dims());
 
+        let schedule = self
+            .recorder
+            .is_enabled()
+            .then(|| schedule_inter_call(a.dims(), &self.config));
         let (output, hardware_accesses, processing) = match self.config.fidelity {
             SimulationFidelity::Detailed => {
                 self.load_region(ZbtRegion::InputA, a)?;
                 self.load_region(ZbtRegion::InputB, b)?;
                 self.zbt.reset_stats();
-                let stats = run_inter_detailed(
+                // Sequential inter processing waits for both images;
+                // interleaved tracks the input strips (see dma.rs).
+                let probe = self.pu_probe(schedule.as_ref().map_or(0.0, |s| {
+                    match self.config.inter_overlap {
+                        InterOverlap::Sequential => self.pci_seconds(s.input_end),
+                        InterOverlap::Interleaved => {
+                            self.pci_seconds(s.input_strips[1].transfer.end())
+                        }
+                    }
+                }));
+                let stats = run_inter_detailed_probed(
                     &mut self.zbt,
                     a.dims(),
                     op,
                     &self.config,
                     self.trace_limit,
+                    &probe,
                 )?;
                 let hw = self.zbt.pixel_access_cycles();
                 (self.unload_result(a.dims())?, hw, Some(stats))
@@ -273,7 +415,7 @@ impl AddressEngine {
             hardware_accesses,
             processing,
         };
-        self.stats.record(&report);
+        self.finish_call("inter_call", &report, schedule.as_ref());
         Ok(EngineRun { output, report })
     }
 
@@ -323,7 +465,8 @@ impl AddressEngine {
             hardware_accesses: 2 * result.report.pixels_processed,
             processing: None,
         };
-        self.stats.record(&report);
+        // Segment calls have no strip schedule (full-frame transfer).
+        self.finish_call("segment_call", &report, None);
         Ok(EngineSegmentRun { result, report })
     }
 
@@ -478,6 +621,52 @@ mod tests {
         let f = frame(Dims::new(8, 8));
         let run = e.run_intra(&f, &BoxBlur::con8()).unwrap();
         assert_eq!(run.report.processing.unwrap().trace.len(), 20);
+    }
+
+    #[test]
+    fn recorder_captures_call_schedule_and_subsystems() {
+        let mut e = AddressEngine::new(EngineConfig::prototype_detailed()).unwrap();
+        let session = vip_obs::Session::new();
+        e.set_recorder(session.recorder());
+        assert!(e.recorder().is_enabled());
+        let f = frame(Dims::new(32, 32));
+        e.run_intra(&f, &SobelGradient::new()).unwrap();
+        let recording = session.finish();
+        use vip_obs::Track;
+        // Engine track: the call span + the seven schedule instants.
+        assert_eq!(recording.on_track(Track::Engine).len(), 8);
+        assert!(!recording.on_track(Track::Pci).is_empty());
+        assert!(!recording.on_track(Track::Dma).is_empty());
+        assert!(!recording.on_track(Track::Iim).is_empty());
+        assert!(!recording.on_track(Track::Oim).is_empty());
+        assert!(!recording.on_track(Track::Pu).is_empty());
+        assert!(!recording.on_track(Track::Plc).is_empty());
+        // Input bank 0 and both result banks saw traffic.
+        assert!(!recording.on_track(Track::ZbtBank(0)).is_empty());
+        assert!(!recording.on_track(Track::ZbtBank(4)).is_empty());
+        // The virtual clock advanced past the call.
+        assert!(e.clock_ns() > 0);
+    }
+
+    #[test]
+    fn detached_recorder_and_metrics_registry() {
+        let mut e = AddressEngine::new(EngineConfig::prototype()).unwrap();
+        let f = frame(Dims::new(16, 16));
+        e.run_intra(&f, &BoxBlur::con8()).unwrap();
+        // Disabled recorder by default: no events anywhere, but the
+        // metrics registry still accumulates.
+        assert_eq!(e.metrics().counter(crate::report::keys::INTRA_CALLS), 1);
+        assert!(e
+            .metrics()
+            .histogram(crate::report::keys::CALL_MS)
+            .is_some());
+        // A second call on a fresh session records only its own events.
+        let session = vip_obs::Session::new();
+        e.set_recorder(session.recorder());
+        e.set_recorder(vip_obs::Recorder::disabled());
+        e.run_intra(&f, &BoxBlur::con8()).unwrap();
+        assert!(session.is_empty(), "detached recorder must stay silent");
+        assert_eq!(e.stats().intra_calls, 2);
     }
 
     #[test]

@@ -73,3 +73,6 @@ pub use reconfig::{ReconfigConfig, ReconfigurableEngine};
 pub use report::{EngineReport, EngineStats};
 pub use resource::ResourceEstimate;
 pub use timing::CallTimeline;
+// Observability handles, re-exported so instrumented hosts need no
+// direct vip-obs dependency.
+pub use vip_obs::{Phase, Recorder, Recording, Registry, Session, Track, TraceRecord};

@@ -16,6 +16,7 @@ use vip_core::neighborhood::{Connectivity, Window};
 use vip_core::ops::{InterOp, IntraOp};
 use vip_core::pixel::Pixel;
 use vip_core::scan::ScanOrder;
+use vip_obs::{Recorder, Track};
 
 use crate::config::EngineConfig;
 use crate::error::EngineResult;
@@ -59,6 +60,98 @@ impl ProcessingStats {
     }
 }
 
+/// Observability probe for the cycle-stepped datapath: maps engine
+/// cycles onto the session's virtual clock and publishes spans for line
+/// fills, pipeline bubbles, line sweeps, and OIM occupancy.
+#[derive(Debug, Clone, Default)]
+pub struct PuProbe {
+    /// Where the spans go; disabled by default.
+    pub recorder: Recorder,
+    /// Virtual-clock time of processing-phase cycle 0, in nanoseconds.
+    pub t0_ns: u64,
+    /// Nanoseconds per engine cycle (`1e9 / engine_clock.hz`).
+    pub ns_per_cycle: f64,
+    /// Shortest stall run worth a span of its own. The OIM drains at two
+    /// cycles per pixel, so a steady-state CIF call alternates produce /
+    /// stall every other cycle — tens of thousands of one-cycle bubbles
+    /// that would swamp the trace. Short runs still reach the aggregate
+    /// stall counters; only runs of at least this length become spans.
+    pub min_stall_run: u64,
+}
+
+impl PuProbe {
+    /// A probe publishing nothing (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        PuProbe::default()
+    }
+
+    /// A probe attached to `recorder` with the given timebase.
+    #[must_use]
+    pub fn new(recorder: Recorder, t0_ns: u64, ns_per_cycle: f64) -> Self {
+        PuProbe {
+            recorder,
+            t0_ns,
+            ns_per_cycle,
+            min_stall_run: 8,
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Virtual-clock nanoseconds of engine cycle `cycle`.
+    fn ts(&self, cycle: u64) -> u64 {
+        self.t0_ns + (cycle as f64 * self.ns_per_cycle).round() as u64
+    }
+}
+
+/// Coalesces per-cycle stall flags into runs, emitting one span per run
+/// of at least `min_stall_run` cycles (see [`PuProbe::min_stall_run`]).
+struct StallRuns<'a> {
+    probe: &'a PuProbe,
+    kind: Option<&'static str>,
+    start_cycle: u64,
+}
+
+impl<'a> StallRuns<'a> {
+    fn new(probe: &'a PuProbe) -> Self {
+        StallRuns {
+            probe,
+            kind: None,
+            start_cycle: 0,
+        }
+    }
+
+    /// Feeds the stall state of one cycle (`None` = pipeline advanced).
+    fn step(&mut self, cycle: u64, stalled: Option<&'static str>) {
+        if self.kind == stalled {
+            return;
+        }
+        self.flush(cycle);
+        if stalled.is_some() {
+            self.kind = stalled;
+            self.start_cycle = cycle;
+        }
+    }
+
+    /// Closes any open run at `cycle` (exclusive).
+    fn flush(&mut self, cycle: u64) {
+        if let Some(kind) = self.kind.take() {
+            if cycle.saturating_sub(self.start_cycle) >= self.probe.min_stall_run {
+                self.probe.recorder.span(
+                    Track::Pu,
+                    kind,
+                    self.probe.ts(self.start_cycle),
+                    self.probe.ts(cycle),
+                    &[("cycles", (cycle - self.start_cycle).into())],
+                );
+            }
+        }
+    }
+}
+
 /// Runs the processing phase of an intra call cycle by cycle.
 ///
 /// The input frame must already reside in the `region` input banks of
@@ -76,6 +169,26 @@ pub fn run_intra_detailed<O: IntraOp>(
     border: BorderPolicy,
     config: &EngineConfig,
     trace_limit: usize,
+) -> EngineResult<ProcessingStats> {
+    run_intra_detailed_probed(zbt, dims, op, border, config, trace_limit, &PuProbe::disabled())
+}
+
+/// [`run_intra_detailed`] with an observability probe: emits IIM
+/// line-fill spans, per-line sweep spans, coalesced pipeline-bubble
+/// spans, OIM occupancy samples, and one enclosing processing span.
+///
+/// # Errors
+///
+/// Propagates ZBT addressing errors; none occur for frames that passed
+/// [`ZbtMemory::fits`].
+pub fn run_intra_detailed_probed<O: IntraOp>(
+    zbt: &mut ZbtMemory,
+    dims: Dims,
+    op: &O,
+    border: BorderPolicy,
+    config: &EngineConfig,
+    trace_limit: usize,
+    probe: &PuProbe,
 ) -> EngineResult<ProcessingStats> {
     let total = dims.pixel_count();
     let radius = op.shape().radius();
@@ -105,6 +218,12 @@ pub fn run_intra_detailed<O: IntraOp>(
     let bound = (total as u64 + 64) * (config.oim_drain_cycles_per_pixel + 6)
         + (dims.height as u64 + 4) * dims.width as u64;
 
+    // Observability state: line-fill start, current sweep line, stall runs.
+    let mut stall_runs = StallRuns::new(probe);
+    let mut fill_start: Option<u64> = None;
+    let mut sweep: Option<(i32, u64)> = None;
+    let occupancy_every = dims.width.max(1) as u64;
+
     while drained < total {
         cycles += 1;
         if cycles > bound {
@@ -113,6 +232,7 @@ pub fn run_intra_detailed<O: IntraOp>(
             });
         }
         arbiter.next_cycle();
+        let mut stalled: Option<&'static str> = None;
 
         // --- OIM → ZBT drain (result port, independent of input banks).
         drain_timer += 1;
@@ -139,10 +259,22 @@ pub fn run_intra_detailed<O: IntraOp>(
             if can_load {
                 let idx = txu_line * dims.width + txu_x;
                 let px = zbt.read_input_pixel(ZbtRegion::InputA, idx)?;
+                if probe.is_enabled() && txu_x == 0 {
+                    fill_start = Some(cycles);
+                }
                 txu_buf.push(px);
                 txu_x += 1;
                 if txu_x == dims.width {
                     iim.load_line(txu_line, &txu_buf);
+                    if let Some(start) = fill_start.take() {
+                        probe.recorder.span(
+                            Track::Iim,
+                            "line_fill",
+                            probe.ts(start),
+                            probe.ts(cycles),
+                            &[("line", (txu_line as u64).into())],
+                        );
+                    }
                     txu_buf.clear();
                     txu_line += 1;
                     txu_x = 0;
@@ -157,6 +289,7 @@ pub fn run_intra_detailed<O: IntraOp>(
                 exec_slot = None;
             } else {
                 stats.oim_stalls += 1;
+                stalled = Some("oim_stall");
                 advance = false;
             }
         }
@@ -188,6 +321,7 @@ pub fn run_intra_detailed<O: IntraOp>(
                     }
                     None => {
                         stats.iim_stalls += 1;
+                        stalled = Some("iim_stall");
                         advance = false;
                     }
                 }
@@ -197,6 +331,16 @@ pub fn run_intra_detailed<O: IntraOp>(
         // --- Stage 1: scan — issue the next pixel position.
         if scan_slot.is_none() {
             if let Some((point, bundle)) = fsm.next() {
+                if probe.is_enabled() {
+                    match sweep {
+                        Some((line, start)) if line != point.y => {
+                            emit_sweep(probe, line, start, cycles);
+                            sweep = Some((point.y, cycles));
+                        }
+                        None => sweep = Some((point.y, cycles)),
+                        Some(_) => {}
+                    }
+                }
                 scan_slot = Some((point, bundle.fetch, bundle.pixel_index));
             }
         }
@@ -216,12 +360,56 @@ pub fn run_intra_detailed<O: IntraOp>(
                 oim.occupancy(),
             ));
         }
+
+        if probe.is_enabled() {
+            stall_runs.step(cycles, stalled);
+            if cycles.is_multiple_of(occupancy_every) {
+                probe
+                    .recorder
+                    .counter(Track::Oim, "occupancy", probe.ts(cycles), oim.occupancy() as f64);
+            }
+        }
+    }
+
+    if probe.is_enabled() {
+        stall_runs.flush(cycles);
+        if let Some((line, start)) = sweep {
+            emit_sweep(probe, line, start, cycles);
+        }
+        emit_processing_span(probe, cycles, &stats, total);
     }
 
     stats.cycles = cycles;
     stats.pixels = total as u64;
     stats.oim_max_occupancy = oim.max_occupancy();
     Ok(stats)
+}
+
+/// Closes one PLC line-sweep span.
+fn emit_sweep(probe: &PuProbe, line: i32, start_cycle: u64, end_cycle: u64) {
+    probe.recorder.span(
+        Track::Plc,
+        "line_sweep",
+        probe.ts(start_cycle),
+        probe.ts(end_cycle),
+        &[("line", i64::from(line).into())],
+    );
+}
+
+/// Emits the span covering the whole cycle-stepped processing phase.
+fn emit_processing_span(probe: &PuProbe, cycles: u64, stats: &ProcessingStats, pixels: usize) {
+    probe.recorder.span(
+        Track::Pu,
+        "processing",
+        probe.ts(0),
+        probe.ts(cycles),
+        &[
+            ("cycles", cycles.into()),
+            ("pixels", (pixels as u64).into()),
+            ("iim_stalls", stats.iim_stalls.into()),
+            ("oim_stalls", stats.oim_stalls.into()),
+        ],
+    );
 }
 
 /// Runs the processing phase of an inter call cycle by cycle: stage 2
@@ -238,6 +426,24 @@ pub fn run_inter_detailed<O: InterOp>(
     config: &EngineConfig,
     trace_limit: usize,
 ) -> EngineResult<ProcessingStats> {
+    run_inter_detailed_probed(zbt, dims, op, config, trace_limit, &PuProbe::disabled())
+}
+
+/// [`run_inter_detailed`] with an observability probe: emits coalesced
+/// pipeline-bubble spans, OIM occupancy samples, and one enclosing
+/// processing span (inter mode bypasses the IIM, so no line fills).
+///
+/// # Errors
+///
+/// Propagates ZBT addressing errors.
+pub fn run_inter_detailed_probed<O: InterOp>(
+    zbt: &mut ZbtMemory,
+    dims: Dims,
+    op: &O,
+    config: &EngineConfig,
+    trace_limit: usize,
+    probe: &PuProbe,
+) -> EngineResult<ProcessingStats> {
     let total = dims.pixel_count();
     let mut oim = Oim::new(config.oim_lines, dims.width);
     let mut stats = ProcessingStats::default();
@@ -250,6 +456,9 @@ pub fn run_inter_detailed<O: InterOp>(
     let mut cycles = 0u64;
     let bound = (total as u64 + 64) * (config.oim_drain_cycles_per_pixel + 6);
 
+    let mut stall_runs = StallRuns::new(probe);
+    let occupancy_every = dims.width.max(1) as u64;
+
     while drained < total {
         cycles += 1;
         if cycles > bound {
@@ -257,6 +466,7 @@ pub fn run_inter_detailed<O: InterOp>(
                 detail: "cycle-stepped inter simulation exceeded its cycle bound",
             });
         }
+        let mut stalled: Option<&'static str> = None;
 
         drain_timer += 1;
         if drain_timer >= config.oim_drain_cycles_per_pixel {
@@ -273,6 +483,7 @@ pub fn run_inter_detailed<O: InterOp>(
                 exec_slot = None;
             } else {
                 stats.oim_stalls += 1;
+                stalled = Some("oim_stall");
                 advance = false;
             }
         }
@@ -299,6 +510,20 @@ pub fn run_inter_detailed<O: InterOp>(
                 oim.occupancy(),
             ));
         }
+
+        if probe.is_enabled() {
+            stall_runs.step(cycles, stalled);
+            if cycles.is_multiple_of(occupancy_every) {
+                probe
+                    .recorder
+                    .counter(Track::Oim, "occupancy", probe.ts(cycles), oim.occupancy() as f64);
+            }
+        }
+    }
+
+    if probe.is_enabled() {
+        stall_runs.flush(cycles);
+        emit_processing_span(probe, cycles, &stats, total);
     }
 
     stats.cycles = cycles;
@@ -539,6 +764,101 @@ mod tests {
         assert_eq!(stats.trace.len(), 30);
         // The pipeline fills within a few cycles.
         assert!(stats.trace.iter().any(|s| s.occupancy() >= 2));
+    }
+
+    #[test]
+    fn probe_emits_iim_plc_pu_and_oim_events() {
+        let cfg = EngineConfig::prototype_detailed();
+        let dims = Dims::new(20, 12);
+        let frame = test_frame(dims);
+        let mut zbt = ZbtMemory::new(&cfg);
+        load_input(&mut zbt, ZbtRegion::InputA, &frame);
+        let session = vip_obs::Session::new();
+        let ns_per_cycle = 1e9 / cfg.engine_clock.hz;
+        let probe = PuProbe::new(session.recorder(), 5_000, ns_per_cycle);
+        let stats = run_intra_detailed_probed(
+            &mut zbt,
+            dims,
+            &BoxBlur::con8(),
+            BorderPolicy::Clamp,
+            &cfg,
+            0,
+            &probe,
+        )
+        .unwrap();
+        let recording = session.finish();
+        // One line_fill per image line, one line_sweep per swept line.
+        assert_eq!(recording.on_track(Track::Iim).len(), dims.height);
+        assert_eq!(recording.on_track(Track::Plc).len(), dims.height);
+        let pu = recording.on_track(Track::Pu);
+        assert!(
+            pu.iter().any(|e| e.name == "processing"),
+            "missing processing span"
+        );
+        assert!(!recording.on_track(Track::Oim).is_empty(), "no occupancy samples");
+        // The processing span covers [t0, t0 + cycles × ns/cycle].
+        let span = pu.iter().find(|e| e.name == "processing").unwrap();
+        assert_eq!(span.ts_ns, 5_000);
+        assert_eq!(
+            span.end_ns(),
+            5_000 + (stats.cycles as f64 * ns_per_cycle).round() as u64
+        );
+        // Short steady-state bubbles are coalesced away, never spanned.
+        let stall_spans = pu.iter().filter(|e| e.name.ends_with("_stall")).count();
+        assert!(
+            stall_spans as u64 <= stats.oim_stalls + stats.iim_stalls,
+            "more stall spans than stalls"
+        );
+    }
+
+    #[test]
+    fn probe_results_identical_to_unprobed() {
+        let cfg = EngineConfig::prototype_detailed();
+        let dims = Dims::new(16, 10);
+        let frame = test_frame(dims);
+
+        let mut zbt = ZbtMemory::new(&cfg);
+        load_input(&mut zbt, ZbtRegion::InputA, &frame);
+        let plain =
+            run_intra_detailed(&mut zbt, dims, &SobelGradient::new(), BorderPolicy::Clamp, &cfg, 0)
+                .unwrap();
+        let plain_out = read_result(&mut zbt, dims);
+
+        let session = vip_obs::Session::new();
+        let probe = PuProbe::new(session.recorder(), 0, 1.0);
+        let mut zbt = ZbtMemory::new(&cfg);
+        load_input(&mut zbt, ZbtRegion::InputA, &frame);
+        let probed = run_intra_detailed_probed(
+            &mut zbt,
+            dims,
+            &SobelGradient::new(),
+            BorderPolicy::Clamp,
+            &cfg,
+            0,
+            &probe,
+        )
+        .unwrap();
+        assert_eq!(plain, probed, "probing must not change the simulation");
+        assert_eq!(plain_out, read_result(&mut zbt, dims));
+    }
+
+    #[test]
+    fn inter_probe_emits_processing_span() {
+        let cfg = EngineConfig::prototype_detailed();
+        let dims = Dims::new(16, 8);
+        let a = test_frame(dims);
+        let mut zbt = ZbtMemory::new(&cfg);
+        load_input(&mut zbt, ZbtRegion::InputA, &a);
+        load_input(&mut zbt, ZbtRegion::InputB, &a);
+        let session = vip_obs::Session::new();
+        let probe = PuProbe::new(session.recorder(), 0, 2.0);
+        run_inter_detailed_probed(&mut zbt, dims, &AbsDiff::luma(), &cfg, 0, &probe).unwrap();
+        let recording = session.finish();
+        assert!(recording
+            .on_track(Track::Pu)
+            .iter()
+            .any(|e| e.name == "processing"));
+        assert!(recording.on_track(Track::Iim).is_empty(), "inter bypasses the IIM");
     }
 
     #[test]

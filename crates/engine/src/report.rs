@@ -4,9 +4,95 @@ use core::fmt;
 use std::time::Duration;
 
 use vip_core::accounting::{AccessModel, AddressingMode, CallDescriptor};
+use vip_obs::Registry;
 
 use crate::process_unit::ProcessingStats;
 use crate::timing::CallTimeline;
+
+/// Metric names the engine publishes into its [`Registry`]. The
+/// [`EngineStats`] facade is *derived* from these (see
+/// [`stats_from_registry`]), so the Table 3 counters and the
+/// observability counters cannot drift apart.
+pub mod keys {
+    /// Completed intra calls (counter).
+    pub const INTRA_CALLS: &str = "engine.calls.intra";
+    /// Completed inter calls (counter).
+    pub const INTER_CALLS: &str = "engine.calls.inter";
+    /// Completed segment calls (counter).
+    pub const SEGMENT_CALLS: &str = "engine.calls.segment";
+    /// Accumulated end-to-end call seconds (gauge).
+    pub const BUSY_SECONDS: &str = "engine.busy_seconds";
+    /// Accumulated PCI payload seconds (gauge).
+    pub const PCI_SECONDS: &str = "engine.pci_seconds";
+    /// Accumulated hardware pixel-access cycles (counter).
+    pub const HARDWARE_ACCESSES: &str = "engine.hardware_accesses";
+    /// Per-call end-to-end latency in milliseconds (histogram).
+    pub const CALL_MS: &str = "engine.call_ms";
+    /// Engine cycles spent in detailed processing phases (counter).
+    pub const PU_CYCLES: &str = "pu.cycles";
+    /// Pixels produced by detailed processing phases (counter).
+    pub const PU_PIXELS: &str = "pu.pixels";
+    /// Cycles stalled on a missing IIM line (counter).
+    pub const PU_IIM_STALLS: &str = "pu.iim_stalls";
+    /// Cycles stalled on a full OIM (counter).
+    pub const PU_OIM_STALLS: &str = "pu.oim_stalls";
+    /// Matrix-register LOAD instructions (counter).
+    pub const PU_MATRIX_LOADS: &str = "pu.matrix_loads";
+    /// Matrix-register SHIFT instructions (counter).
+    pub const PU_MATRIX_SHIFTS: &str = "pu.matrix_shifts";
+    /// Largest OIM occupancy observed across calls (gauge, maximum).
+    pub const OIM_MAX_OCCUPANCY: &str = "oim.max_occupancy";
+}
+
+/// Bucket bounds of the per-call latency histogram, in milliseconds.
+/// Geometric from 0.05 ms — a QCIF intra call lands mid-range, a CIF
+/// sequential inter call near the top.
+const CALL_MS_BOUNDS: [f64; 12] = [
+    0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6, 51.2, 102.4,
+];
+
+/// Folds one report into a metrics registry — the single accumulation
+/// path behind both [`EngineStats`] and `vipctl stats`.
+pub fn record_into(registry: &mut Registry, report: &EngineReport) {
+    let mode_key = match report.descriptor.mode {
+        AddressingMode::Intra => keys::INTRA_CALLS,
+        AddressingMode::Inter => keys::INTER_CALLS,
+        AddressingMode::Segment | AddressingMode::SegmentIndexed => keys::SEGMENT_CALLS,
+    };
+    if report.descriptor.mode != AddressingMode::SegmentIndexed {
+        registry.inc(mode_key, 1);
+    }
+    registry.add_gauge(keys::BUSY_SECONDS, report.timeline.total);
+    registry.add_gauge(
+        keys::PCI_SECONDS,
+        report.timeline.input_pci + report.timeline.output_pci,
+    );
+    registry.inc(keys::HARDWARE_ACCESSES, report.hardware_accesses);
+    registry.observe(keys::CALL_MS, &CALL_MS_BOUNDS, report.timeline.total * 1e3);
+    if let Some(p) = &report.processing {
+        registry.inc(keys::PU_CYCLES, p.cycles);
+        registry.inc(keys::PU_PIXELS, p.pixels);
+        registry.inc(keys::PU_IIM_STALLS, p.iim_stalls);
+        registry.inc(keys::PU_OIM_STALLS, p.oim_stalls);
+        registry.inc(keys::PU_MATRIX_LOADS, p.matrix_loads);
+        registry.inc(keys::PU_MATRIX_SHIFTS, p.matrix_shifts);
+        registry.max_gauge(keys::OIM_MAX_OCCUPANCY, p.oim_max_occupancy as f64);
+    }
+}
+
+/// Derives the [`EngineStats`] facade from a registry populated by
+/// [`record_into`].
+#[must_use]
+pub fn stats_from_registry(registry: &Registry) -> EngineStats {
+    EngineStats {
+        intra_calls: registry.counter(keys::INTRA_CALLS),
+        inter_calls: registry.counter(keys::INTER_CALLS),
+        segment_calls: registry.counter(keys::SEGMENT_CALLS),
+        busy_seconds: registry.gauge(keys::BUSY_SECONDS),
+        pci_seconds: registry.gauge(keys::PCI_SECONDS),
+        hardware_accesses: registry.counter(keys::HARDWARE_ACCESSES),
+    }
+}
 
 /// Everything the engine knows about one executed call.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +229,24 @@ mod tests {
         assert!(s.pci_seconds <= s.busy_seconds);
         assert_eq!(s.hardware_accesses, 3 * 2 * 1024);
         assert!(s.busy_duration().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn registry_path_matches_direct_accumulation() {
+        let mut direct = EngineStats::default();
+        let mut registry = Registry::new();
+        for mode in [
+            AddressingMode::Intra,
+            AddressingMode::Inter,
+            AddressingMode::Intra,
+        ] {
+            let r = report(mode);
+            direct.record(&r);
+            record_into(&mut registry, &r);
+        }
+        assert_eq!(stats_from_registry(&registry), direct);
+        // The registry carries extras the facade does not: a latency histogram.
+        assert_eq!(registry.histogram(keys::CALL_MS).unwrap().count(), 3);
     }
 
     #[test]

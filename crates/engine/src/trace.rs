@@ -18,6 +18,8 @@
 
 use core::fmt;
 
+use vip_obs::{Recorder, Track};
+
 use crate::timing::CallTimeline;
 
 /// What happened at one point of a call's schedule.
@@ -38,6 +40,23 @@ pub enum TraceKind {
     OutputDmaCompleted,
     /// The call completed (completion interrupt served).
     CallCompleted,
+}
+
+impl TraceKind {
+    /// Stable machine-readable name, used as the event name on the
+    /// observability bus.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::CallIssued => "call_issued",
+            TraceKind::InputDmaStarted => "input_dma_started",
+            TraceKind::InputDmaCompleted => "input_dma_completed",
+            TraceKind::ProcessingCompleted => "processing_completed",
+            TraceKind::OutputDmaStarted => "output_dma_started",
+            TraceKind::OutputDmaCompleted => "output_dma_completed",
+            TraceKind::CallCompleted => "call_completed",
+        }
+    }
 }
 
 impl fmt::Display for TraceKind {
@@ -113,6 +132,26 @@ pub fn trace_of(timeline: &CallTimeline) -> Vec<TraceEvent> {
     events
 }
 
+/// Publishes a call's schedule events onto the observability bus as
+/// instants on the engine track, `t0_ns` being the call-issue time on
+/// the session's virtual clock. This is how [`TraceKind`] milestones and
+/// the subsystem spans (DMA, ZBT, PU) end up in one Perfetto timeline.
+pub fn emit_trace(recorder: &Recorder, t0_ns: u64, events: &[TraceEvent]) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    for e in events {
+        let ts = t0_ns + seconds_to_ns(e.at);
+        recorder.instant(Track::Engine, e.kind.name(), ts, &[]);
+    }
+}
+
+/// Converts schedule seconds to virtual-clock nanoseconds (rounded).
+#[must_use]
+pub fn seconds_to_ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round().max(0.0) as u64
+}
+
 /// Renders a trace as a one-line-per-event table.
 #[must_use]
 pub fn format_trace(events: &[TraceEvent]) -> String {
@@ -167,6 +206,36 @@ mod tests {
         assert_eq!(text.lines().count(), events.len());
         assert!(text.contains("output DMA started"));
         assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn kind_names_are_stable_and_distinct() {
+        let kinds = [
+            TraceKind::CallIssued,
+            TraceKind::InputDmaStarted,
+            TraceKind::InputDmaCompleted,
+            TraceKind::ProcessingCompleted,
+            TraceKind::OutputDmaStarted,
+            TraceKind::OutputDmaCompleted,
+            TraceKind::CallCompleted,
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        assert!(names.iter().all(|n| !n.contains(' ')));
+    }
+
+    #[test]
+    fn emit_places_all_events_on_engine_track() {
+        let t = intra_timeline(Dims::new(64, 64), 1, &cfg());
+        let events = trace_of(&t);
+        let session = vip_obs::Session::new();
+        emit_trace(&session.recorder(), 1_000, &events);
+        let recording = session.finish();
+        assert_eq!(recording.len(), events.len());
+        assert!(recording.events.iter().all(|e| e.track == Track::Engine));
+        assert_eq!(recording.events[0].ts_ns, 1_000);
+        // Disabled recorder: no-op.
+        emit_trace(&Recorder::disabled(), 0, &events);
     }
 
     #[test]

@@ -198,6 +198,12 @@ impl EngineBackend {
     pub fn engine(&self) -> &AddressEngine {
         &self.engine
     }
+
+    /// Mutable access to the underlying engine — for attaching an
+    /// observability recorder or a stage-trace limit before a run.
+    pub fn engine_mut(&mut self) -> &mut AddressEngine {
+        &mut self.engine
+    }
 }
 
 impl GmeBackend for EngineBackend {

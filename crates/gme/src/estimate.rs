@@ -41,6 +41,7 @@ use vip_core::geometry::Point;
 use vip_core::ops::arith::AbsDiff;
 use vip_core::ops::filter::CentralGradient;
 use vip_core::ops::morph::AlphaMajority;
+use vip_obs::{Recorder, Track};
 
 use crate::backend::GmeBackend;
 use crate::model::{solve_linear, Motion, MotionModel};
@@ -134,16 +135,29 @@ pub struct GmeResult {
 }
 
 /// The hierarchical global motion estimator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Estimator {
     config: GmeConfig,
+    recorder: Recorder,
 }
 
 impl Estimator {
     /// Creates an estimator.
     #[must_use]
-    pub const fn new(config: GmeConfig) -> Self {
-        Estimator { config }
+    pub fn new(config: GmeConfig) -> Self {
+        Estimator {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder: estimation runs emit
+    /// per-pyramid-level spans on the GME track, timed on the backend's
+    /// modelled clock.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configuration.
@@ -173,8 +187,16 @@ impl Estimator {
                 right: current.dims(),
             });
         }
+        let t0 = modelled_ns(backend);
         let ref_pyr = Pyramid::build(reference, self.config.levels, backend)?;
         let cur_pyr = Pyramid::build(current, self.config.levels, backend)?;
+        self.recorder.span(
+            Track::Gme,
+            "pyramid_build",
+            t0,
+            modelled_ns(backend),
+            &[("levels", (self.config.levels as u64).into())],
+        );
         self.estimate_with_pyramids(&ref_pyr, &cur_pyr, initial, backend)
     }
 
@@ -202,6 +224,8 @@ impl Estimator {
         for li in (0..levels).rev() {
             let ref_level = ref_pyr.level(li);
             let cur_level = cur_pyr.level(li);
+            let level_t0 = modelled_ns(backend);
+            let level_iters_before = total_iters;
             // AddressLib intra call: spatial gradients of the current
             // level (signed central differences into y/aux).
             let grad = backend.intra(cur_level, &CentralGradient::new())?;
@@ -228,6 +252,16 @@ impl Estimator {
                 }
             }
 
+            self.recorder.span(
+                Track::Gme,
+                "pyramid_level",
+                level_t0,
+                modelled_ns(backend),
+                &[
+                    ("level", (li as u64).into()),
+                    ("iterations", ((total_iters - level_iters_before) as u64).into()),
+                ],
+            );
             if li > 0 {
                 motion = motion.scaled_up(2.0);
             }
@@ -319,6 +353,13 @@ impl Estimator {
             },
         ))
     }
+}
+
+/// The backend's modelled clock as virtual nanoseconds — the shared
+/// timebase of the GME track (spans inherit the backend's timing model,
+/// so engine-backed runs line up with the engine's own trace windows).
+pub(crate) fn modelled_ns(backend: &dyn GmeBackend) -> u64 {
+    (backend.modelled_seconds() * 1e9).round().max(0.0) as u64
 }
 
 /// Per-step statistics.
@@ -538,6 +579,27 @@ mod tests {
         // The paper's workload is intra-heavy (Table 3: ≈1.4×).
         let ratio = t.intra as f64 / t.inter as f64;
         assert!(ratio > 0.8 && ratio < 3.5, "intra:inter ratio {ratio}");
+    }
+
+    #[test]
+    fn recorder_captures_pyramid_levels() {
+        let truth = Motion::translation(1.0, 0.0);
+        let (reference, current) = make_pair(Dims::new(64, 64), &truth);
+        let session = vip_obs::Session::new();
+        let mut backend = SoftwareBackend::new();
+        let est = Estimator::new(GmeConfig::default()).with_recorder(session.recorder());
+        est.estimate(&reference, &current, Motion::identity(), &mut backend)
+            .unwrap();
+        let recording = session.finish();
+        let gme = recording.on_track(Track::Gme);
+        assert!(gme.iter().any(|e| e.name == "pyramid_build"));
+        assert_eq!(
+            gme.iter().filter(|e| e.name == "pyramid_level").count(),
+            GmeConfig::default().levels
+        );
+        // Spans ride the backend's modelled clock, so they nest inside it.
+        let end = modelled_ns(&backend);
+        assert!(gme.iter().all(|e| e.end_ns() <= end));
     }
 
     #[test]

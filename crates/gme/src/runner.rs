@@ -5,9 +5,10 @@
 use vip_core::error::{CoreError, CoreResult};
 use vip_core::frame::Frame;
 use vip_core::geometry::Dims;
+use vip_obs::{Recorder, Track};
 
 use crate::backend::{CallTally, GmeBackend};
-use crate::estimate::{Estimator, GmeConfig, GmeResult};
+use crate::estimate::{modelled_ns, Estimator, GmeConfig, GmeResult};
 use crate::model::Motion;
 use crate::mosaic::Mosaic;
 use crate::pyramid::Pyramid;
@@ -72,6 +73,7 @@ impl SequenceReport {
 #[derive(Debug, Clone)]
 pub struct SequenceRunner {
     estimator: Estimator,
+    recorder: Recorder,
     build_mosaic: bool,
     mosaic_margin: (f64, f64),
 }
@@ -82,6 +84,7 @@ impl SequenceRunner {
     pub fn new(config: GmeConfig) -> Self {
         SequenceRunner {
             estimator: Estimator::new(config),
+            recorder: Recorder::disabled(),
             build_mosaic: false,
             mosaic_margin: (64.0, 48.0),
         }
@@ -93,6 +96,17 @@ impl SequenceRunner {
     pub fn with_mosaic(mut self, margin_x: f64, margin_y: f64) -> Self {
         self.build_mosaic = true;
         self.mosaic_margin = (margin_x, margin_y);
+        self
+    }
+
+    /// Attaches an observability recorder: the run emits one span per
+    /// estimated frame pair plus running call-count samples on the GME
+    /// track, and the estimator emits its per-level spans onto the same
+    /// bus. All timed on the backend's modelled clock.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.estimator = self.estimator.with_recorder(recorder.clone());
+        self.recorder = recorder;
         self
     }
 
@@ -136,10 +150,26 @@ impl SequenceRunner {
                     right: frame.dims(),
                 });
             }
+            let frame_t0 = modelled_ns(backend);
             let cur_pyr = Pyramid::build(&frame, levels, backend)?;
             let gme =
                 self.estimator
                     .estimate_with_pyramids(&ref_pyr, &cur_pyr, prediction, backend)?;
+            if self.recorder.is_enabled() {
+                let now = modelled_ns(backend);
+                self.recorder.span(
+                    Track::Gme,
+                    "frame_pair",
+                    frame_t0,
+                    now,
+                    &[
+                        ("frame", (count as u64).into()),
+                        ("iterations", (gme.iterations as u64).into()),
+                    ],
+                );
+                self.recorder
+                    .counter(Track::Gme, "calls_total", now, backend.tally().total() as f64);
+            }
             let relative = gme.motion;
             // Warm-start the next pair with this pair's motion.
             prediction = relative;
@@ -288,6 +318,32 @@ mod tests {
         let report = runner.run(frames, &mut backend).unwrap();
         assert!(report.mean_iterations() >= 1.0);
         assert!(report.mean_residual() < 20.0);
+    }
+
+    #[test]
+    fn recorder_spans_per_frame_and_engine_subsystems() {
+        let frames = pan_sequence(Dims::new(48, 48), 3, 1.0, 0.0);
+        let session = vip_obs::Session::new();
+        let runner =
+            SequenceRunner::new(GmeConfig::translational()).with_recorder(session.recorder());
+        let mut backend = EngineBackend::prototype();
+        // Wire the same bus into the engine so its call spans share the
+        // trace. (Timebases differ only by interleaving of PM pricing.)
+        backend.engine_mut().set_recorder(session.recorder());
+        runner.run(frames, &mut backend).unwrap();
+        let recording = session.finish();
+        let gme = recording.on_track(Track::Gme);
+        assert_eq!(
+            gme.iter().filter(|e| e.name == "frame_pair").count(),
+            2,
+            "3 frames = 2 estimated pairs"
+        );
+        assert!(gme.iter().any(|e| e.name == "calls_total"));
+        // The engine contributed its own call spans on the engine track.
+        assert!(recording
+            .on_track(Track::Engine)
+            .iter()
+            .any(|e| e.name == "intra_call" || e.name == "inter_call"));
     }
 
     #[test]

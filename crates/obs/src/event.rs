@@ -1,0 +1,244 @@
+//! The structured event model: tracks, phases, attributes and records.
+//!
+//! Every record carries a `u64` nanosecond timestamp on the simulator's
+//! virtual clock, a [`Track`] naming the subsystem that emitted it, and a
+//! list of key/value attributes. The model maps 1:1 onto the Chrome
+//! trace-event format so export is a straight transcription.
+
+use core::fmt;
+
+/// The subsystem ("thread" in the Chrome trace model) an event belongs to.
+///
+/// One track per architectural block of fig. 2: the PCI bus, the DMA strip
+/// scheduler, the six ZBT banks, the intermediate memories, the Process
+/// Unit and the Pipeline Logic Controller, plus the engine-level call track
+/// and the GME application layer above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Engine-level call lifecycle (one span per AddressLib call).
+    Engine,
+    /// PCI bus payload and interrupt activity.
+    Pci,
+    /// DMA strip scheduler (per-strip and per-result-half transfers).
+    Dma,
+    /// One of the six ZBT SRAM banks (0–5).
+    ZbtBank(u8),
+    /// Input Intermediate Memory line fills.
+    Iim,
+    /// Output Intermediate Memory occupancy and drains.
+    Oim,
+    /// Process Unit pipeline (stalls, processing windows).
+    Pu,
+    /// Pipeline Logic Controller line sweeps.
+    Plc,
+    /// Global motion estimation above the engine.
+    Gme,
+}
+
+impl Track {
+    /// Stable Chrome-trace thread id for the track. Ids are dense and
+    /// ordered so Perfetto lists tracks top-down in architectural order.
+    #[must_use]
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Engine => 1,
+            Track::Pci => 2,
+            Track::Dma => 3,
+            Track::ZbtBank(b) => 4 + u32::from(b.min(5)),
+            Track::Iim => 10,
+            Track::Oim => 11,
+            Track::Pu => 12,
+            Track::Plc => 13,
+            Track::Gme => 14,
+        }
+    }
+
+    /// Human-readable track name, used as the Chrome-trace thread name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Engine => "engine",
+            Track::Pci => "pci",
+            Track::Dma => "dma",
+            Track::ZbtBank(0) => "zbt.bank0",
+            Track::ZbtBank(1) => "zbt.bank1",
+            Track::ZbtBank(2) => "zbt.bank2",
+            Track::ZbtBank(3) => "zbt.bank3",
+            Track::ZbtBank(4) => "zbt.bank4",
+            Track::ZbtBank(_) => "zbt.bank5",
+            Track::Iim => "iim",
+            Track::Oim => "oim",
+            Track::Pu => "pu",
+            Track::Plc => "plc",
+            Track::Gme => "gme",
+        }
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Span open (`ph: "B"`); must be matched by an [`Phase::End`] on the
+    /// same track.
+    Begin,
+    /// Span close (`ph: "E"`).
+    End,
+    /// Self-contained span (`ph: "X"`) with an explicit duration.
+    Complete {
+        /// Span duration in virtual nanoseconds.
+        dur_ns: u64,
+    },
+    /// Zero-duration marker (`ph: "i"`).
+    Instant,
+    /// Sampled counter value (`ph: "C"`), drawn as a track-local graph.
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// An attribute value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Static string (the common case: enum variant names).
+    Str(&'static str),
+    /// Owned string.
+    Owned(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Owned(v)
+    }
+}
+
+/// A key/value attribute pair: `(key, value)`.
+pub type Attr = (&'static str, AttrValue);
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual-clock timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// Subsystem track the event belongs to.
+    pub track: Track,
+    /// Event name (shown on the span/marker in Perfetto).
+    pub name: &'static str,
+    /// Event phase.
+    pub phase: Phase,
+    /// Key/value attributes (Chrome-trace `args`).
+    pub args: Vec<Attr>,
+}
+
+impl TraceRecord {
+    /// End timestamp: `ts_ns` plus the duration for complete spans,
+    /// `ts_ns` itself for everything else.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        match self.phase {
+            Phase::Complete { dur_ns } => self.ts_ns.saturating_add(dur_ns),
+            _ => self.ts_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tids_are_unique_and_ordered() {
+        let tracks = [
+            Track::Engine,
+            Track::Pci,
+            Track::Dma,
+            Track::ZbtBank(0),
+            Track::ZbtBank(1),
+            Track::ZbtBank(2),
+            Track::ZbtBank(3),
+            Track::ZbtBank(4),
+            Track::ZbtBank(5),
+            Track::Iim,
+            Track::Oim,
+            Track::Pu,
+            Track::Plc,
+            Track::Gme,
+        ];
+        let mut tids: Vec<u32> = tracks.iter().map(|t| t.tid()).collect();
+        let sorted = tids.clone();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), tracks.len(), "tids must be unique");
+        assert_eq!(tids, sorted, "tids must already be in display order");
+    }
+
+    #[test]
+    fn out_of_range_bank_saturates() {
+        assert_eq!(Track::ZbtBank(9).tid(), Track::ZbtBank(5).tid());
+        assert_eq!(Track::ZbtBank(9).name(), "zbt.bank5");
+    }
+
+    #[test]
+    fn end_ns_for_phases() {
+        let mut r = TraceRecord {
+            ts_ns: 10,
+            track: Track::Pu,
+            name: "x",
+            phase: Phase::Complete { dur_ns: 5 },
+            args: Vec::new(),
+        };
+        assert_eq!(r.end_ns(), 15);
+        r.phase = Phase::Instant;
+        assert_eq!(r.end_ns(), 10);
+        r.phase = Phase::Complete { dur_ns: u64::MAX };
+        assert_eq!(r.end_ns(), u64::MAX, "saturates instead of overflowing");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Track::Iim.to_string(), "iim");
+        assert_eq!(Track::ZbtBank(3).to_string(), "zbt.bank3");
+    }
+}

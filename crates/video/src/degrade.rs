@@ -20,9 +20,7 @@
 //! assert_eq!(f.dims(), seq.render_frame(2).dims());
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::XorShift64;
 use vip_core::frame::Frame;
 use vip_core::geometry::Point;
 use crate::sequences::TestSequence;
@@ -128,10 +126,10 @@ impl Degradation {
             }
         }
         if self.noise_sigma > 0.0 {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0x9e37));
+            let mut rng = XorShift64::new(self.seed ^ (t as u64).wrapping_mul(0x9e37));
             for px in frame.pixels_mut() {
                 // Irwin–Hall(3) ≈ normal; variance of sum of 3 U(−1,1) is 1.
-                let n: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0)).sum();
+                let n: f64 = (0..3).map(|_| rng.uniform(-1.0, 1.0)).sum();
                 let v = f64::from(px.y) + n * self.noise_sigma;
                 px.y = v.round().clamp(0.0, 255.0) as u8;
             }

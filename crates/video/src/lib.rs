@@ -28,6 +28,7 @@
 pub mod degrade;
 pub mod io;
 pub mod motion_script;
+pub mod rng;
 pub mod sequences;
 pub mod synth;
 

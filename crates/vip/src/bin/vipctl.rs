@@ -5,7 +5,13 @@
 //! vipctl render <singapore|dome|pisa|movie> --frames N --width W --height H --out clip.y4m
 //! vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
 //! vipctl segment --tolerance T [--size WxH] [--out labels.pgm]
+//! vipctl trace <intra|inter|gme> [--size WxH] [--frames N] --out trace.json
+//! vipctl stats <intra|inter|gme> [--size WxH] [--frames N]
 //! ```
+//!
+//! `trace` writes a Chrome trace-event JSON file loadable in Perfetto
+//! (<https://ui.perfetto.dev>); `stats` prints the engine metrics
+//! registry as a plain-text table.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -15,8 +21,11 @@ use vip::core::addressing::labeling::label_all_segments;
 use vip::core::addressing::segment::SegmentOptions;
 use vip::core::geometry::Dims;
 use vip::core::ops::segment_ops::HomogeneityCriterion;
+use vip::core::frame::Frame;
+use vip::core::ops::arith::AbsDiff;
+use vip::core::ops::filter::SobelGradient;
 use vip::core::pixel::Pixel;
-use vip::engine::{EngineConfig, ResourceEstimate};
+use vip::engine::{AddressEngine, EngineConfig, Recording, ResourceEstimate, Session};
 use vip::gme::{EngineBackend, GmeBackend, GmeConfig, SequenceRunner, SoftwareBackend};
 use vip::video::io::{write_pgm, Y4mWriter};
 use vip::video::TestSequence;
@@ -39,7 +48,10 @@ usage:
   vipctl render <sequence> [--frames N] [--size WxH] [--out clip.y4m]
   vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
   vipctl segment [--tolerance T] [--size WxH] [--out labels.pgm]
-sequences: singapore | dome | pisa | movie";
+  vipctl trace <scenario> [--size WxH] [--frames N] [--out trace.json]
+  vipctl stats <scenario> [--size WxH] [--frames N]
+sequences: singapore | dome | pisa | movie
+scenarios: intra (CIF Sobel, detailed) | inter (CIF AbsDiff, detailed) | gme";
 
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     let Some(cmd) = args.first() else {
@@ -51,6 +63,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "render" => render(args.get(1), &flags),
         "gme" => gme(args.get(1), &flags),
         "segment" => segment(&flags),
+        "trace" => trace(args.get(1), &flags),
+        "stats" => stats(args.get(1), &flags),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -229,5 +243,75 @@ fn segment(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         write_pgm(&vis, path)?;
         println!("label map → {path}");
     }
+    Ok(())
+}
+
+/// Runs an observability scenario with a recorder attached and returns
+/// the finished recording plus the metrics-registry text table.
+fn run_scenario(
+    name: Option<&String>,
+    flags: &HashMap<String, String>,
+) -> Result<(Recording, String), Box<dyn Error>> {
+    let session = Session::new();
+    match name.map(String::as_str) {
+        Some(kind @ ("intra" | "inter")) => {
+            let dims = parse_size(flags, Dims::new(352, 288))?;
+            let mut engine = AddressEngine::new(EngineConfig::prototype_detailed())?;
+            engine.set_recorder(session.recorder());
+            let frame = Frame::from_fn(dims, |p| {
+                Pixel::from_luma(((p.x * 7 + p.y * 13) % 256) as u8)
+            });
+            if kind == "intra" {
+                engine.run_intra(&frame, &SobelGradient::new())?;
+            } else {
+                let shifted = Frame::from_fn(dims, |p| {
+                    Pixel::from_luma(((p.x * 7 + p.y * 13 + 31) % 256) as u8)
+                });
+                engine.run_inter(&frame, &shifted, &AbsDiff::luma())?;
+            }
+            let table = engine.metrics().text_table();
+            Ok((session.finish(), table))
+        }
+        Some("gme") => {
+            let seq = scaled(&TestSequence::singapore(), flags)?;
+            let mut backend = EngineBackend::prototype();
+            backend.engine_mut().set_recorder(session.recorder());
+            let runner =
+                SequenceRunner::new(GmeConfig::default()).with_recorder(session.recorder());
+            runner.run(seq.frames(), &mut backend)?;
+            let table = backend.engine().metrics().text_table();
+            Ok((session.finish(), table))
+        }
+        Some(other) if !other.starts_with("--") => {
+            Err(format!("unknown scenario `{other}` (expected intra | inter | gme)").into())
+        }
+        _ => Err("missing scenario (intra | inter | gme)".into()),
+    }
+}
+
+fn trace(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let (recording, _) = run_scenario(name, flags)?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "trace.json".to_string());
+    std::fs::write(&out, recording.to_chrome_json())?;
+    let tracks: Vec<&str> = recording.tracks().iter().map(|t| t.name()).collect();
+    println!(
+        "wrote {} events on {} tracks ({}) to {out}",
+        recording.len(),
+        tracks.len(),
+        tracks.join(", ")
+    );
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+    Ok(())
+}
+
+fn stats(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let (recording, table) = run_scenario(name, flags)?;
+    print!("{table}");
+    println!();
+    println!(
+        "trace: {} events across {} tracks (use `vipctl trace` to export)",
+        recording.len(),
+        recording.tracks().len()
+    );
     Ok(())
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, tests, clippy with warnings
+# denied. This is exactly what CI runs; run it before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "==> OK"
