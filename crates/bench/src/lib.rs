@@ -17,6 +17,8 @@
 //! | `pci_overhead`  | §4.1 — the 12.5 % special-inter overhead           |
 //! | `ablation`      | design-choice sweeps (strip size, overlap, clock)  |
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use std::time::Duration;

@@ -1,0 +1,321 @@
+//! Hazard-freedom of the 4-stage Process-Unit pipeline (§3.2, §3.5).
+//!
+//! The PLC start-pipeline is an in-order 4-slot shift register; the
+//! arbiter guarantees instructions in different stages never touch the
+//! same datapath resource. [`check_start_pipeline`] *proves* hazard
+//! freedom by exhaustively driving a real
+//! [`StartPipeline`] + [`Arbiter`] pair through **every** control
+//! sequence of a given length — each cycle is one of stall, advance, or
+//! advance-and-issue, exactly the three moves the Process-Unit loop can
+//! make — and checking, against an independent queue model:
+//!
+//! * every occupied stage locks its own resource with no conflict
+//!   (resource injectivity, §3.2),
+//! * bundles retire strictly in issue order after exactly four advances
+//!   (in-order, fixed-latency),
+//! * occupancy never exceeds the four slots, and stage contents match
+//!   the model queue cycle by cycle,
+//! * conservation: issued = retired + in flight, at every cycle.
+//!
+//! Sequences of length [`DEFAULT_SEQUENCE_LEN`] cover every reachable
+//! pipeline state several times over (the pipeline holds only 4 slots,
+//! so its state space is exhausted by much shorter prefixes).
+//!
+//! [`check_pipeline_depth`] adds the configuration-level check: the
+//! cycle-stepped fidelity hard-codes the four §3.5 stages, so a
+//! `Detailed` configuration must declare `pipeline_stages == 4`.
+
+use std::collections::VecDeque;
+
+use vip_engine::config::SimulationFidelity;
+use vip_engine::plc::{Arbiter, FetchKind, PixelBundle, Resource, Stage, StartPipeline};
+
+use crate::witness::Scenario;
+use crate::{CheckReport, Violation};
+
+/// Control-sequence length of the exhaustive pass: `3^LEN` sequences.
+pub const DEFAULT_SEQUENCE_LEN: usize = 9;
+
+/// One per-cycle control decision of the Process-Unit loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctl {
+    /// Pipeline stalled (IIM miss or OIM full; §3.3 disable).
+    Stall,
+    /// Advance without issuing (scan FSM exhausted).
+    Advance,
+    /// Advance, then issue the next bundle into stage 1.
+    AdvanceIssue,
+}
+
+impl Ctl {
+    const ALL: [Ctl; 3] = [Ctl::Stall, Ctl::Advance, Ctl::AdvanceIssue];
+
+    fn letter(self) -> char {
+        match self {
+            Ctl::Stall => 'S',
+            Ctl::Advance => 'A',
+            Ctl::AdvanceIssue => 'I',
+        }
+    }
+}
+
+/// Decodes sequence number `id` into `len` base-3 control decisions.
+fn decode(mut id: usize, len: usize) -> Vec<Ctl> {
+    let mut seq = Vec::with_capacity(len);
+    for _ in 0..len {
+        seq.push(Ctl::ALL[id % 3]);
+        id /= 3;
+    }
+    seq
+}
+
+/// Renders a control sequence as a witness string (`S`/`A`/`I` per
+/// cycle).
+fn witness_of(seq: &[Ctl], cycle: usize) -> String {
+    let letters: String = seq.iter().map(|c| c.letter()).collect();
+    format!("control sequence {letters}, cycle {cycle}")
+}
+
+/// Drives one control sequence through a real pipeline + arbiter pair,
+/// returning every invariant violation.
+fn run_sequence(seq: &[Ctl]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut pipeline = StartPipeline::new();
+    let mut arbiter = Arbiter::new();
+    // Independent model: (pixel index, advances seen) per in-flight
+    // bundle, oldest first.
+    let mut model: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut next_index = 0usize;
+    let mut issued = 0u64;
+    let mut expected_retire = 0usize;
+
+    for (cycle, ctl) in seq.iter().enumerate() {
+        arbiter.next_cycle();
+        match ctl {
+            Ctl::Stall => pipeline.stall(),
+            Ctl::Advance | Ctl::AdvanceIssue => {
+                let retired = pipeline.advance();
+                for slot in &mut model {
+                    slot.1 += 1;
+                }
+                let model_retired = match model.front() {
+                    Some(&(idx, 4)) => {
+                        model.pop_front();
+                        Some(idx)
+                    }
+                    _ => None,
+                };
+                if retired.map(|b| b.pixel_index) != model_retired {
+                    out.push(Violation {
+                        check: "pipeline.latency",
+                        message: format!(
+                            "pipeline retired {:?} but the 4-advance model expected {:?}",
+                            retired.map(|b| b.pixel_index),
+                            model_retired
+                        ),
+                        witness: witness_of(seq, cycle),
+                    });
+                }
+                if let Some(idx) = model_retired {
+                    if idx != expected_retire {
+                        out.push(Violation {
+                            check: "pipeline.order",
+                            message: format!(
+                                "bundle {idx} retired before bundle {expected_retire} \
+                                 — out-of-order retirement"
+                            ),
+                            witness: witness_of(seq, cycle),
+                        });
+                    }
+                    expected_retire = idx + 1;
+                }
+                if *ctl == Ctl::AdvanceIssue {
+                    if !pipeline.can_issue() {
+                        out.push(Violation {
+                            check: "pipeline.issue",
+                            message: "stage 1 still occupied after an advance".to_string(),
+                            witness: witness_of(seq, cycle),
+                        });
+                    } else {
+                        pipeline.issue(PixelBundle::new(next_index, FetchKind::Shift));
+                        model.push_back((next_index, 0));
+                        next_index += 1;
+                        issued += 1;
+                    }
+                }
+            }
+        }
+
+        // Resource injectivity: every occupied stage locks its own
+        // resource; the arbiter must grant all of them conflict-free.
+        let mut occupied = 0usize;
+        for stage in Stage::ALL {
+            if pipeline.at(stage).is_some() {
+                occupied += 1;
+                if !arbiter.try_lock(stage.resource()) {
+                    out.push(Violation {
+                        check: "pipeline.resource_conflict",
+                        message: format!(
+                            "stage `{stage}` could not lock its resource {:?} — two \
+                             stages share a datapath resource",
+                            stage.resource()
+                        ),
+                        witness: witness_of(seq, cycle),
+                    });
+                }
+            }
+        }
+        if occupied > Stage::ALL.len() {
+            out.push(Violation {
+                check: "pipeline.occupancy",
+                message: format!("{occupied} bundles in a 4-slot pipeline"),
+                witness: witness_of(seq, cycle),
+            });
+        }
+        let locked = Resource::ALL.iter().filter(|r| arbiter.is_locked(**r)).count();
+        if locked != occupied {
+            out.push(Violation {
+                check: "pipeline.resource_count",
+                message: format!("{occupied} occupied stages hold {locked} resource locks"),
+                witness: witness_of(seq, cycle),
+            });
+        }
+
+        // Stage contents must match the model queue: a bundle that has
+        // seen `a` advances since issue sits in stage `a`.
+        for &(idx, age) in &model {
+            let stage = Stage::ALL[age];
+            if pipeline.at(stage).map(|b| b.pixel_index) != Some(idx) {
+                out.push(Violation {
+                    check: "pipeline.stage_tracking",
+                    message: format!(
+                        "bundle {idx} (age {age}) is not in stage `{stage}`"
+                    ),
+                    witness: witness_of(seq, cycle),
+                });
+            }
+        }
+
+        // Conservation: issued = retired + in flight.
+        if issued != pipeline.retired() + model.len() as u64 {
+            out.push(Violation {
+                check: "pipeline.conservation",
+                message: format!(
+                    "issued {issued} ≠ retired {} + in-flight {}",
+                    pipeline.retired(),
+                    model.len()
+                ),
+                witness: witness_of(seq, cycle),
+            });
+        }
+    }
+    out
+}
+
+/// Exhaustively verifies the start-pipeline against **all** `3^len`
+/// control sequences of length `len`.
+#[must_use]
+pub fn check_start_pipeline(len: usize) -> CheckReport {
+    let mut report = CheckReport::default();
+    let total = 3usize.pow(len as u32);
+    for id in 0..total {
+        let seq = decode(id, len);
+        report.cases += 1;
+        report.violations.extend(run_sequence(&seq));
+    }
+    report
+}
+
+/// Configuration-level depth check: the cycle-stepped (`Detailed`)
+/// fidelity hard-codes the four §3.5 stages, so any other declared
+/// depth would silently diverge from the simulated datapath.
+#[must_use]
+pub fn check_pipeline_depth(s: &Scenario) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if s.config.pipeline_stages == 0 {
+        out.push(Violation {
+            check: "pipeline.depth",
+            message: "pipeline_stages is zero — the Process Unit needs its four stages"
+                .to_string(),
+            witness: s.witness(),
+        });
+    }
+    if s.config.fidelity == SimulationFidelity::Detailed
+        && s.config.pipeline_stages != Stage::ALL.len()
+    {
+        out.push(Violation {
+            check: "pipeline.depth",
+            message: format!(
+                "Detailed fidelity simulates the hard-wired {}-stage datapath but the \
+                 configuration declares pipeline_stages={} — analytic and cycle-stepped \
+                 models would disagree",
+                Stage::ALL.len(),
+                s.config.pipeline_stages
+            ),
+            witness: s.witness(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_core::geometry::Dims;
+    use vip_engine::config::EngineConfig;
+    use crate::witness::CallKind;
+
+    #[test]
+    fn short_exhaustive_pass_is_clean() {
+        let report = check_start_pipeline(7);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.cases, 3u64.pow(7));
+    }
+
+    #[test]
+    fn all_issue_sequence_fills_and_flows() {
+        let seq = vec![Ctl::AdvanceIssue; 12];
+        assert!(run_sequence(&seq).is_empty());
+    }
+
+    #[test]
+    fn stalls_preserve_state() {
+        let seq = vec![
+            Ctl::AdvanceIssue,
+            Ctl::Stall,
+            Ctl::Stall,
+            Ctl::AdvanceIssue,
+            Ctl::Stall,
+            Ctl::Advance,
+            Ctl::Advance,
+            Ctl::Advance,
+        ];
+        assert!(run_sequence(&seq).is_empty());
+    }
+
+    #[test]
+    fn decode_is_exhaustive_and_stable() {
+        assert_eq!(decode(0, 3), vec![Ctl::Stall; 3]);
+        let seq = decode(3 + 2 * 9, 3);
+        assert_eq!(seq, vec![Ctl::Stall, Ctl::Advance, Ctl::AdvanceIssue]);
+    }
+
+    #[test]
+    fn detailed_fidelity_requires_four_stages() {
+        let mut c = EngineConfig::prototype_detailed();
+        c.pipeline_stages = 5;
+        let s = Scenario::new("deep", c, Dims::new(16, 16), CallKind::Inter);
+        let v = check_pipeline_depth(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "pipeline.depth");
+        assert!(v[0].witness.contains("pipeline_stages=5"), "{}", v[0].witness);
+    }
+
+    #[test]
+    fn analytic_fidelity_allows_other_depths() {
+        let mut c = EngineConfig::prototype();
+        c.pipeline_stages = 6;
+        let s = Scenario::new("deep", c, Dims::new(16, 16), CallKind::Inter);
+        assert!(check_pipeline_depth(&s).is_empty());
+    }
+}

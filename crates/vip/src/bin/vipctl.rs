@@ -7,6 +7,7 @@
 //! vipctl segment --tolerance T [--size WxH] [--out labels.pgm]
 //! vipctl trace <intra|inter|gme> [--size WxH] [--frames N] --out trace.json
 //! vipctl stats <intra|inter|gme> [--size WxH] [--frames N]
+//! vipctl check [--root DIR]
 //! ```
 //!
 //! `trace` writes a Chrome trace-event JSON file loadable in Perfetto
@@ -50,6 +51,7 @@ usage:
   vipctl segment [--tolerance T] [--size WxH] [--out labels.pgm]
   vipctl trace <scenario> [--size WxH] [--frames N] [--out trace.json]
   vipctl stats <scenario> [--size WxH] [--frames N]
+  vipctl check [--root DIR]
 sequences: singapore | dome | pisa | movie
 scenarios: intra (CIF Sobel, detailed) | inter (CIF AbsDiff, detailed) | gme";
 
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "segment" => segment(&flags),
         "trace" => trace(args.get(1), &flags),
         "stats" => stats(args.get(1), &flags),
+        "check" => check(&flags),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -286,6 +289,38 @@ fn run_scenario(
             Err(format!("unknown scenario `{other}` (expected intra | inter | gme)").into())
         }
         _ => Err("missing scenario (intra | inter | gme)".into()),
+    }
+}
+
+/// `vipctl check` — static schedule/hazard verification plus workspace
+/// lints, exactly what the standalone `vip-check` binary runs.
+fn check(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let root = match flags.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let mut dir = std::env::current_dir()?;
+            loop {
+                let manifest = dir.join("Cargo.toml");
+                if std::fs::read_to_string(&manifest)
+                    .is_ok_and(|t| t.contains("[workspace]"))
+                {
+                    break dir;
+                }
+                if !dir.pop() {
+                    return Err("no workspace Cargo.toml found above the current directory \
+                                (pass --root DIR)"
+                        .into());
+                }
+            }
+        }
+    };
+    println!("verifying workspace at {}", root.display());
+    let report = vip::check::check_workspace(&root);
+    println!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s)", report.violations.len()).into())
     }
 }
 

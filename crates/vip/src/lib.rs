@@ -16,6 +16,11 @@
 //!   ground-truth camera motion plus PGM/PPM/Y4M I/O.
 //! * [`profiling`] (`vip-profiling`) — instruction profiling and the ×30
 //!   Amdahl bound.
+//! * [`check`] (`vip-check`) — static schedule/hazard verifier: proves
+//!   ZBT bank-conflict freedom, IIM/OIM occupancy bounds, start-pipeline
+//!   hazard freedom and call-timeline ordering without running the
+//!   simulator, plus the zero-dependency workspace lints
+//!   (`vipctl check` / the `vip-check` binary).
 //!
 //! ## Quick start
 //!
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use vip_check as check;
 pub use vip_core as core;
 pub use vip_engine as engine;
 pub use vip_gme as gme;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full offline verification: release build, tests, clippy with warnings
-# denied. This is exactly what CI runs; run it before pushing.
+# Full offline verification: release build, tests, static verifier and
+# clippy with warnings denied. This is exactly what CI runs; run it
+# before pushing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +11,9 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> vip-check (static schedule/hazard verifier + workspace lint)"
+cargo run --release -q -p vip-check -- .
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --all-targets --workspace -- -D warnings
