@@ -112,20 +112,29 @@ impl fmt::Display for CheckReport {
     }
 }
 
-/// Runs every model check over the given scenarios.
+/// Every model check over one scenario, in stable discovery order.
+fn check_scenario(s: &Scenario) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    violations.extend(schedule::check_timeline(s));
+    violations.extend(occupancy::check_iim(s));
+    violations.extend(occupancy::check_oim(s));
+    violations.extend(zbt::check_bank_map(s));
+    violations.extend(zbt::check_capacity(s));
+    violations.extend(zbt::check_input_duty(s));
+    violations.extend(zbt::check_output_overtake(s));
+    violations.extend(pipeline::check_pipeline_depth(s));
+    violations
+}
+
+/// Runs every model check over the given scenarios. Scenarios are
+/// independent, so they fan out across the `vip-par` work pool; results
+/// merge in scenario order, keeping the report identical to a serial
+/// pass at any thread count.
 #[must_use]
 pub fn check_model(scenarios: &[Scenario]) -> CheckReport {
+    let per_scenario = vip_par::map(scenarios, vip_par::default_threads(), check_scenario);
     let mut report = CheckReport::default();
-    for s in scenarios {
-        let mut violations = Vec::new();
-        violations.extend(schedule::check_timeline(s));
-        violations.extend(occupancy::check_iim(s));
-        violations.extend(occupancy::check_oim(s));
-        violations.extend(zbt::check_bank_map(s));
-        violations.extend(zbt::check_capacity(s));
-        violations.extend(zbt::check_input_duty(s));
-        violations.extend(zbt::check_output_overtake(s));
-        violations.extend(pipeline::check_pipeline_depth(s));
+    for violations in per_scenario {
         report.cases += 1;
         report.violations.extend(violations);
     }

@@ -10,8 +10,8 @@
 //!   `vip-engine::report::keys`, and every declared key must be used
 //!   somewhere (no orphans — the metric-key drift PR 1 surfaced);
 //!   `vip-obs` is exempt as the generic registry layer,
-//! * **no wall clock in simulation crates** — `vip-core`, `vip-engine`
-//!   and `vip-gme` model time with the virtual clock only; any
+//! * **no wall clock in simulation crates** — `vip-core`, `vip-engine`,
+//!   `vip-gme` and `vip-par` model time with the virtual clock only; any
 //!   `std::time::{Instant, SystemTime}` path or
 //!   `Instant::now`/`SystemTime::now` call is nondeterminism smuggled
 //!   into the simulation (`Duration` as a value type is fine),
@@ -30,8 +30,10 @@ use std::path::{Path, PathBuf};
 
 use crate::{CheckReport, Violation};
 
-/// Crates that must not read the wall clock (virtual time only).
-pub const SIMULATION_CRATES: [&str; 3] = ["core", "engine", "gme"];
+/// Crates that must not read the wall clock (virtual time only). The
+/// `vip-par` work pool is included: it runs inside simulation sweeps,
+/// so any wall-clock read there would smuggle nondeterminism into them.
+pub const SIMULATION_CRATES: [&str; 4] = ["core", "engine", "gme", "par"];
 
 /// Crates exempt from the metric-key cross-check (the generic registry
 /// layer, whose docs and tests use free-form example keys).
@@ -452,8 +454,8 @@ pub fn lint_workspace(root: &Path) -> CheckReport {
                 report.violations.push(Violation {
                     check: "lint.wall_clock",
                     message: format!(
-                        "`{pattern}` in a simulation crate — vip-core/engine/gme model \
-                         time with the virtual clock only"
+                        "`{pattern}` in a simulation crate — vip-core/engine/gme/par \
+                         model time with the virtual clock only"
                     ),
                     witness: format!("{rel_str}:{line}"),
                 });

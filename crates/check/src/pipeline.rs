@@ -213,15 +213,28 @@ fn run_sequence(seq: &[Ctl]) -> Vec<Violation> {
 }
 
 /// Exhaustively verifies the start-pipeline against **all** `3^len`
-/// control sequences of length `len`.
+/// control sequences of length `len`, fanning contiguous id ranges out
+/// across the `vip-par` work pool. Chunk reports merge in ascending id
+/// order, so the report (cases and violation order) is identical to the
+/// serial pass at any thread count.
 #[must_use]
 pub fn check_start_pipeline(len: usize) -> CheckReport {
-    let mut report = CheckReport::default();
     let total = 3usize.pow(len as u32);
-    for id in 0..total {
-        let seq = decode(id, len);
-        report.cases += 1;
-        report.violations.extend(run_sequence(&seq));
+    let threads = vip_par::default_threads();
+    // Oversplit so one slow chunk cannot serialise the pass.
+    let ranges = vip_par::chunks(total, threads * 8);
+    let partials = vip_par::map(&ranges, threads, |range| {
+        let mut report = CheckReport::default();
+        for id in range.clone() {
+            let seq = decode(id, len);
+            report.cases += 1;
+            report.violations.extend(run_sequence(&seq));
+        }
+        report
+    });
+    let mut report = CheckReport::default();
+    for partial in partials {
+        report.merge(partial);
     }
     report
 }
@@ -270,6 +283,19 @@ mod tests {
         let report = check_start_pipeline(7);
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.cases, 3u64.pow(7));
+    }
+
+    #[test]
+    fn parallel_exhaustive_pass_matches_serial_loop() {
+        // The fan-out must be unobservable: same cases count and same
+        // violation order as a plain serial loop over all ids.
+        let len = 6;
+        let mut serial = CheckReport::default();
+        for id in 0..3usize.pow(len as u32) {
+            serial.cases += 1;
+            serial.violations.extend(run_sequence(&decode(id, len)));
+        }
+        assert_eq!(check_start_pipeline(len), serial);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::addressing::CallReport;
 use crate::border::BorderPolicy;
 use crate::error::{CoreError, CoreResult};
 use crate::frame::Frame;
+use crate::geometry::Point;
 use crate::neighborhood::Window;
 use crate::ops::IntraOp;
 use crate::scan::{scan_points, ScanOrder};
@@ -76,8 +77,11 @@ pub fn run_intra_with(
     let mut output = frame.clone();
 
     let mut applied = 0u64;
+    // One window reused across the sweep: `regather` refills the sample
+    // buffer in place instead of allocating per pixel.
+    let mut window = Window::from_samples(Point::ORIGIN, op.shape(), std::iter::empty());
     for p in scan_points(frame.dims(), options.scan) {
-        let window = Window::gather(frame, p, op.shape(), options.border);
+        window.regather(frame, p, options.border);
         counter.read(per_pixel_reads);
         let result = op.apply(&window);
         let mut out = frame.get(p);

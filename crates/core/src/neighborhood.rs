@@ -84,26 +84,48 @@ impl Connectivity {
 
     /// The offsets of the window relative to the centre, in row-major
     /// order. The centre `(0,0)` is always included.
+    ///
+    /// Allocates; the hot paths (window gathers, IIM fetches) use the
+    /// allocation-free [`Connectivity::offsets_iter`] instead.
     #[must_use]
     pub fn offsets(self) -> Vec<Point> {
+        self.offsets_iter().collect()
+    }
+
+    /// Iterates the window offsets in the same row-major order as
+    /// [`Connectivity::offsets`], without allocating.
+    #[must_use]
+    pub fn offsets_iter(self) -> Offsets {
+        Offsets {
+            shape: self,
+            idx: 0,
+            len: self.offset_count(),
+        }
+    }
+
+    /// Number of offsets in the window.
+    #[must_use]
+    pub const fn offset_count(self) -> usize {
         match self {
-            Connectivity::Con0 => vec![Point::ORIGIN],
-            Connectivity::Con4 => vec![
-                Point::new(0, -1),
-                Point::new(-1, 0),
-                Point::ORIGIN,
-                Point::new(1, 0),
-                Point::new(0, 1),
-            ],
+            Connectivity::Con0 => 1,
+            Connectivity::Con4 => 5,
+            Connectivity::Con8 | Connectivity::Square(_) => {
+                let side = 2 * self.radius() + 1;
+                side * side
+            }
+        }
+    }
+
+    /// Whether `off` is one of the window's offsets — O(1), the hot-path
+    /// replacement for `offsets().contains(&off)`.
+    #[must_use]
+    pub const fn contains_offset(self, off: Point) -> bool {
+        match self {
+            Connectivity::Con0 => off.x == 0 && off.y == 0,
+            Connectivity::Con4 => off.x.abs() + off.y.abs() <= 1,
             Connectivity::Con8 | Connectivity::Square(_) => {
                 let r = self.radius() as i32;
-                let mut v = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
-                for dy in -r..=r {
-                    for dx in -r..=r {
-                        v.push(Point::new(dx, dy));
-                    }
-                }
-                v
+                off.x.abs() <= r && off.y.abs() <= r
             }
         }
     }
@@ -113,10 +135,7 @@ impl Connectivity {
     /// criterion.
     #[must_use]
     pub fn expansion_offsets(self) -> Vec<Point> {
-        self.offsets()
-            .into_iter()
-            .filter(|p| *p != Point::ORIGIN)
-            .collect()
+        self.offsets_iter().filter(|p| *p != Point::ORIGIN).collect()
     }
 
     /// Number of *new* pixels that enter a sliding window per unit step in
@@ -135,6 +154,52 @@ impl Connectivity {
         }
     }
 }
+
+/// Allocation-free iterator over a window's offsets, in row-major order
+/// (see [`Connectivity::offsets_iter`]).
+#[derive(Debug, Clone)]
+pub struct Offsets {
+    shape: Connectivity,
+    idx: usize,
+    len: usize,
+}
+
+/// `CON_4` offsets in row-major order.
+const CON4_OFFSETS: [Point; 5] = [
+    Point::new(0, -1),
+    Point::new(-1, 0),
+    Point::ORIGIN,
+    Point::new(1, 0),
+    Point::new(0, 1),
+];
+
+impl Iterator for Offsets {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.idx >= self.len {
+            return None;
+        }
+        let i = self.idx;
+        self.idx += 1;
+        Some(match self.shape {
+            Connectivity::Con0 => Point::ORIGIN,
+            Connectivity::Con4 => CON4_OFFSETS[i],
+            Connectivity::Con8 | Connectivity::Square(_) => {
+                let r = self.shape.radius() as i32;
+                let side = 2 * self.shape.radius() + 1;
+                Point::new((i % side) as i32 - r, (i / side) as i32 - r)
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Offsets {}
 
 impl fmt::Display for Connectivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -173,19 +238,56 @@ impl Window {
         shape: Connectivity,
         policy: BorderPolicy,
     ) -> Window {
-        let samples = shape
-            .offsets()
-            .into_iter()
-            .filter_map(|off| {
-                policy
-                    .resolve(frame, centre + off)
-                    .map(|px| (off, px))
-            })
-            .collect();
-        Window {
+        let mut window = Window {
             centre,
             shape,
-            samples,
+            samples: Vec::with_capacity(shape.offset_count()),
+        };
+        window.regather(frame, centre, policy);
+        window
+    }
+
+    /// Re-gathers the window in place around a new `centre`, reusing the
+    /// sample buffer — the allocation-free path sweep loops drive.
+    /// Produces exactly the samples of
+    /// [`Window::gather`]`(frame, centre, self.shape(), policy)`.
+    pub fn regather(&mut self, frame: &Frame, centre: Point, policy: BorderPolicy) {
+        self.centre = centre;
+        self.samples.clear();
+        let dims = frame.dims();
+        let r = self.shape.radius() as i32;
+        let side = 2 * r + 1;
+        let interior = centre.x >= r
+            && centre.y >= r
+            && centre.x + r < dims.width as i32
+            && centre.y + r < dims.height as i32;
+        if interior && self.shape.offset_count() == (side * side) as usize {
+            // Full-square interior window: take row slices directly — no
+            // border resolution, no per-sample index arithmetic. Offsets
+            // come out in the same row-major order as `offsets_iter`.
+            for dy in -r..=r {
+                let line = frame.line((centre.y + dy) as usize);
+                let x0 = (centre.x - r) as usize;
+                self.samples.extend(
+                    line[x0..=(centre.x + r) as usize]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, px)| (Point::new(i as i32 - r, dy), *px)),
+                );
+            }
+        } else if interior {
+            // Sparse shape, still fully in bounds: skip border resolution.
+            self.samples.extend(
+                self.shape
+                    .offsets_iter()
+                    .map(|off| (off, frame.get(centre + off))),
+            );
+        } else {
+            self.samples.extend(
+                self.shape
+                    .offsets_iter()
+                    .filter_map(|off| policy.resolve(frame, centre + off).map(|px| (off, px))),
+            );
         }
     }
 
@@ -202,10 +304,9 @@ impl Window {
         shape: Connectivity,
         samples: impl IntoIterator<Item = (Point, Pixel)>,
     ) -> Window {
-        let wanted = shape.offsets();
         let mut collected: Vec<(Point, Pixel)> = samples
             .into_iter()
-            .filter(|(off, _)| wanted.contains(off))
+            .filter(|(off, _)| shape.contains_offset(*off))
             .collect();
         collected.sort_by_key(|(off, _)| (off.y, off.x));
         Window {
@@ -324,6 +425,67 @@ mod tests {
         ] {
             assert!(c.offsets().contains(&Point::ORIGIN), "{c}");
             assert!(!c.expansion_offsets().contains(&Point::ORIGIN), "{c}");
+        }
+    }
+
+    #[test]
+    fn regather_matches_gather_everywhere() {
+        // The in-place refill must be sample-for-sample identical to a
+        // fresh gather at every position (interior fast path, sparse
+        // shapes, and all border policies), for any previous centre.
+        let f = ramp();
+        let policies = [
+            BorderPolicy::Clamp,
+            BorderPolicy::Mirror,
+            BorderPolicy::Wrap,
+            BorderPolicy::Constant(Pixel::from_luma(7)),
+            BorderPolicy::Skip,
+        ];
+        for shape in [
+            Connectivity::Con0,
+            Connectivity::Con4,
+            Connectivity::Con8,
+            Connectivity::Square(2),
+        ] {
+            for policy in policies {
+                let mut reused = Window::from_samples(Point::ORIGIN, shape, std::iter::empty());
+                for y in 0..5 {
+                    for x in 0..5 {
+                        let p = Point::new(x, y);
+                        reused.regather(&f, p, policy);
+                        let fresh = Window::gather(&f, p, shape, policy);
+                        assert_eq!(reused.centre(), fresh.centre(), "{shape} {policy} {p}");
+                        assert_eq!(
+                            reused.iter().collect::<Vec<_>>(),
+                            fresh.iter().collect::<Vec<_>>(),
+                            "{shape} {policy} {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_iter_matches_offsets_everywhere() {
+        for c in [
+            Connectivity::Con0,
+            Connectivity::Con4,
+            Connectivity::Con8,
+            Connectivity::Square(2),
+            Connectivity::Square(4),
+        ] {
+            let vec = c.offsets();
+            let iter: Vec<Point> = c.offsets_iter().collect();
+            assert_eq!(iter, vec, "{c}");
+            assert_eq!(c.offsets_iter().len(), c.offset_count(), "{c}");
+            // O(1) membership agrees with the list on a superset of points.
+            for y in -5..=5 {
+                for x in -5..=5 {
+                    let p = Point::new(x, y);
+                    assert_eq!(c.contains_offset(p), vec.contains(&p), "{c} at {p}");
+                }
+            }
         }
     }
 

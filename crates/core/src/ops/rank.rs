@@ -23,7 +23,7 @@
 //! ```
 
 use crate::error::{CoreError, CoreResult};
-use crate::neighborhood::{Connectivity, Window};
+use crate::neighborhood::{Connectivity, Window, MAX_LINES};
 use crate::ops::IntraOp;
 use crate::pixel::{ChannelSet, Pixel};
 
@@ -64,12 +64,20 @@ impl RankFilter {
     }
 
     fn select(&self, window: &Window) -> u8 {
-        let mut lumas: Vec<u8> = window.pixels().map(|p| p.y).collect();
-        if lumas.is_empty() {
+        // Windows span at most 9×9 samples, so the sort buffer lives on
+        // the stack — this runs once per pixel.
+        let mut lumas = [0u8; MAX_LINES * MAX_LINES];
+        let mut n = 0;
+        for p in window.pixels() {
+            lumas[n] = p.y;
+            n += 1;
+        }
+        if n == 0 {
             return window.centre_pixel().y;
         }
+        let lumas = &mut lumas[..n];
         lumas.sort_unstable();
-        let idx = (usize::from(self.rank_permille) * (lumas.len() - 1) + 500) / 1000;
+        let idx = (usize::from(self.rank_permille) * (n - 1) + 500) / 1000;
         lumas[idx]
     }
 }

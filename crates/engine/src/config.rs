@@ -21,6 +21,25 @@ pub enum SimulationFidelity {
     Analytic,
 }
 
+/// How the detailed simulator advances its cycle counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StepMode {
+    /// Tick every engine cycle, modelling each stage each cycle. Always
+    /// used when a trace recorder is attached (per-cycle spans need the
+    /// per-cycle loop) and by the equivalence tests as the reference.
+    CycleStepped,
+    /// Event-driven fast-forward: subsystems report their next-activity
+    /// cycle and the stepping loop jumps the clock to the earliest one
+    /// instead of ticking idle cycles, while the per-pixel datapath work
+    /// is replayed from the software addressing model. Produces
+    /// bit-identical [`crate::ProcessingStats`], ZBT bank statistics and
+    /// schedule instants to [`StepMode::CycleStepped`] (asserted by
+    /// `tests/fast_forward_equivalence.rs`).
+    #[default]
+    FastForward,
+}
+
 /// Behaviour of inter calls with respect to transfer/processing overlap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -85,6 +104,8 @@ pub struct EngineConfig {
     pub inter_overlap: InterOverlap,
     /// Simulation fidelity.
     pub fidelity: SimulationFidelity,
+    /// Cycle-stepping strategy for [`SimulationFidelity::Detailed`] runs.
+    pub step_mode: StepMode,
     /// Whether the engine accepts segment-addressing calls. `false` for
     /// the v1 prototype (*"Segment addressing is planned for future
     /// versions"*, §6); enable to model the §5 outlook extension.
@@ -113,6 +134,7 @@ impl EngineConfig {
             output_latency_fraction: 0.25,
             inter_overlap: InterOverlap::Sequential,
             fidelity: SimulationFidelity::Analytic,
+            step_mode: StepMode::FastForward,
             segment_capable: false,
         }
     }

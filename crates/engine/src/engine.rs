@@ -39,9 +39,10 @@ use vip_core::ops::{InterOp, IntraOp};
 use vip_core::pixel::ChannelSet;
 use vip_obs::{Recorder, Registry, Track};
 
-use crate::config::{EngineConfig, InterOverlap, SimulationFidelity};
+use crate::config::{EngineConfig, InterOverlap, SimulationFidelity, StepMode};
 use crate::dma::{schedule_inter_call, schedule_intra_call, DmaSchedule};
 use crate::error::{EngineError, EngineResult};
+use crate::fast::{run_inter_fast, run_intra_fast};
 use crate::process_unit::{run_inter_detailed_probed, run_intra_detailed_probed, PuProbe};
 use crate::report::{record_into, stats_from_registry, EngineReport, EngineStats};
 use crate::timing::{inter_timeline, intra_timeline, segment_timeline};
@@ -154,6 +155,13 @@ impl AddressEngine {
         self.trace_limit = cycles;
     }
 
+    /// Whether detailed calls take the event-driven fast-forward path.
+    /// An attached recorder forces per-cycle stepping: the fig. 5 probe
+    /// spans (line fills, sweeps, stall runs) are per-cycle artefacts.
+    fn fast_forward(&self) -> bool {
+        self.config.step_mode == StepMode::FastForward && !self.recorder.is_enabled()
+    }
+
     /// A probe for the cycle-stepped datapath whose cycle 0 sits at
     /// `processing_start_s` seconds into the current call.
     fn pu_probe(&self, processing_start_s: f64) -> PuProbe {
@@ -244,18 +252,13 @@ impl AddressEngine {
     }
 
     fn load_region(&mut self, region: ZbtRegion, frame: &Frame) -> EngineResult<()> {
-        for (i, px) in frame.pixels().iter().enumerate() {
-            self.zbt.write_input_pixel(region, i, *px)?;
-        }
+        self.zbt.write_input_run(region, 0, frame.pixels())?;
         Ok(())
     }
 
     fn unload_result(&mut self, dims: vip_core::geometry::Dims) -> EngineResult<Frame> {
         let total = dims.pixel_count();
-        let mut pixels = Vec::with_capacity(total);
-        for i in 0..total {
-            pixels.push(self.zbt.read_result_pixel(i, total)?);
-        }
+        let pixels = self.zbt.read_result_run(0, total, total)?;
         Ok(Frame::from_pixels(dims, pixels)?)
     }
 
@@ -307,21 +310,34 @@ impl AddressEngine {
             SimulationFidelity::Detailed => {
                 self.load_region(ZbtRegion::InputA, frame)?;
                 self.zbt.reset_stats();
-                // Processing starts once the first strip has landed.
-                let probe = self.pu_probe(
-                    schedule
-                        .as_ref()
-                        .map_or(0.0, |s| self.pci_seconds(s.input_strips[0].transfer.end())),
-                );
-                let stats = run_intra_detailed_probed(
-                    &mut self.zbt,
-                    frame.dims(),
-                    op,
-                    border,
-                    &self.config,
-                    self.trace_limit,
-                    &probe,
-                )?;
+                // Event-driven fast-forward is bit-identical but cannot
+                // emit per-cycle probe spans: recorded runs step.
+                let stats = if self.fast_forward() {
+                    run_intra_fast(
+                        &mut self.zbt,
+                        frame.dims(),
+                        op,
+                        border,
+                        &self.config,
+                        self.trace_limit,
+                    )?
+                } else {
+                    // Processing starts once the first strip has landed.
+                    let probe = self.pu_probe(
+                        schedule
+                            .as_ref()
+                            .map_or(0.0, |s| self.pci_seconds(s.input_strips[0].transfer.end())),
+                    );
+                    run_intra_detailed_probed(
+                        &mut self.zbt,
+                        frame.dims(),
+                        op,
+                        border,
+                        &self.config,
+                        self.trace_limit,
+                        &probe,
+                    )?
+                };
                 let hw = self.zbt.pixel_access_cycles();
                 (self.unload_result(frame.dims())?, hw, Some(stats))
             }
@@ -381,24 +397,28 @@ impl AddressEngine {
                 self.load_region(ZbtRegion::InputA, a)?;
                 self.load_region(ZbtRegion::InputB, b)?;
                 self.zbt.reset_stats();
-                // Sequential inter processing waits for both images;
-                // interleaved tracks the input strips (see dma.rs).
-                let probe = self.pu_probe(schedule.as_ref().map_or(0.0, |s| {
-                    match self.config.inter_overlap {
-                        InterOverlap::Sequential => self.pci_seconds(s.input_end),
-                        InterOverlap::Interleaved => {
-                            self.pci_seconds(s.input_strips[1].transfer.end())
+                let stats = if self.fast_forward() {
+                    run_inter_fast(&mut self.zbt, a.dims(), op, &self.config, self.trace_limit)?
+                } else {
+                    // Sequential inter processing waits for both images;
+                    // interleaved tracks the input strips (see dma.rs).
+                    let probe = self.pu_probe(schedule.as_ref().map_or(0.0, |s| {
+                        match self.config.inter_overlap {
+                            InterOverlap::Sequential => self.pci_seconds(s.input_end),
+                            InterOverlap::Interleaved => {
+                                self.pci_seconds(s.input_strips[1].transfer.end())
+                            }
                         }
-                    }
-                }));
-                let stats = run_inter_detailed_probed(
-                    &mut self.zbt,
-                    a.dims(),
-                    op,
-                    &self.config,
-                    self.trace_limit,
-                    &probe,
-                )?;
+                    }));
+                    run_inter_detailed_probed(
+                        &mut self.zbt,
+                        a.dims(),
+                        op,
+                        &self.config,
+                        self.trace_limit,
+                        &probe,
+                    )?
+                };
                 let hw = self.zbt.pixel_access_cycles();
                 (self.unload_result(a.dims())?, hw, Some(stats))
             }

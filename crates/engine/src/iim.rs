@@ -138,6 +138,26 @@ impl Iim {
         self.stall_cycles += 1;
     }
 
+    /// Whether the transmission unit may load another pixel without
+    /// evicting a line the sweep still needs: either a free line block
+    /// exists, or the eviction victim lies strictly before the oldest
+    /// in-flight line's window (`needed_oldest`).
+    #[must_use]
+    pub fn can_accept(&self, needed_oldest: usize) -> bool {
+        !self.is_full() || self.oldest_line().is_none_or(|old| old < needed_oldest)
+    }
+
+    /// Next-activity cycle of the ZBT→IIM fill path, for the event-driven
+    /// stepping loop: `Some(now + 1)` while the transmission unit has
+    /// lines left to move (`filling`) and the eviction gate admits the
+    /// next pixel, `None` while the fill is done or gated — a gated fill
+    /// cannot resume until the sweep advances, which is a pipeline event,
+    /// not an IIM event.
+    #[must_use]
+    pub fn next_event(&self, now: u64, filling: bool, needed_oldest: usize) -> Option<u64> {
+        (filling && self.can_accept(needed_oldest)).then_some(now + 1)
+    }
+
     /// Whether all lines a `shape`-window at `centre` needs (after
     /// clamping to the frame of `dims`) are resident.
     #[must_use]
@@ -168,8 +188,8 @@ impl Iim {
             return None;
         }
         self.window_fetches += 1;
-        let mut out = Vec::with_capacity(shape.offsets().len());
-        for off in shape.offsets() {
+        let mut out = Vec::with_capacity(shape.offset_count());
+        for off in shape.offsets_iter() {
             let line = (centre.y + off.y).clamp(0, dims.height as i32 - 1) as usize;
             let row = &self
                 .lines

@@ -15,6 +15,8 @@
 //! * [`plc`] — the pixel-level controller (control FSM, arbiter,
 //!   start-pipeline),
 //! * [`process_unit`] — the cycle-stepped 4-stage datapath (fig. 6),
+//! * [`fast`] — the event-driven fast-forward datapath (bit-identical
+//!   statistics, a fraction of the simulated work),
 //! * [`timing`] — the analytic image-level schedule (validated against
 //!   the cycle-stepped path),
 //! * [`resource`] — the calibrated Table 1 device-utilisation model,
@@ -52,6 +54,7 @@ pub mod config;
 pub mod dma;
 pub mod engine;
 pub mod error;
+pub mod fast;
 pub mod iim;
 pub mod matrix;
 pub mod oim;
@@ -66,7 +69,7 @@ pub mod trace;
 pub mod zbt;
 
 pub use clock::{ClockDomain, Cycles};
-pub use config::{EngineConfig, InterOverlap, SimulationFidelity};
+pub use config::{EngineConfig, InterOverlap, SimulationFidelity, StepMode};
 pub use engine::{AddressEngine, EngineRun, EngineSegmentRun};
 pub use error::{EngineError, EngineResult};
 pub use reconfig::{ReconfigConfig, ReconfigurableEngine};

@@ -87,6 +87,24 @@ impl MatrixRegister {
         self.loads += 1;
     }
 
+    /// LOAD without allocating: fills every cell from `fill(col, row)`,
+    /// reusing the register's column buffers. Semantically identical to
+    /// [`MatrixRegister::load`] — the allocation-free path the per-pixel
+    /// simulation loop drives.
+    pub fn load_with(&mut self, mut fill: impl FnMut(usize, usize) -> Pixel) {
+        let side = self.side;
+        if self.columns.len() != side || self.columns.iter().any(|c| c.len() != side) {
+            self.columns = vec![vec![Pixel::default(); side]; side];
+        }
+        for (col, column) in self.columns.iter_mut().enumerate() {
+            for (row, px) in column.iter_mut().enumerate() {
+                *px = fill(col, row);
+            }
+        }
+        self.valid = true;
+        self.loads += 1;
+    }
+
     /// SHIFT: advances the window one pixel in the scan direction by
     /// dropping the leftmost column and appending `new_column` on the
     /// right — the pixel-reuse path that makes the IIM worthwhile.
@@ -99,6 +117,23 @@ impl MatrixRegister {
         assert_eq!(new_column.len(), self.side, "column height must be {}", self.side);
         self.columns.remove(0);
         self.columns.push(new_column);
+        self.shifts += 1;
+    }
+
+    /// SHIFT without allocating: rotates the leftmost column buffer to
+    /// the right edge and refills it from `fill(row)`. Semantically
+    /// identical to [`MatrixRegister::shift`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register is invalid.
+    pub fn shift_with(&mut self, mut fill: impl FnMut(usize) -> Pixel) {
+        assert!(self.valid, "SHIFT requires a previously LOADed matrix");
+        self.columns.rotate_left(1);
+        let column = self.columns.last_mut().expect("LOADed matrix has columns");
+        for (row, px) in column.iter_mut().enumerate() {
+            *px = fill(row);
+        }
         self.shifts += 1;
     }
 
@@ -119,8 +154,7 @@ impl MatrixRegister {
         assert!(self.valid, "reading an invalid matrix register");
         let r = self.shape.radius() as i32;
         self.shape
-            .offsets()
-            .into_iter()
+            .offsets_iter()
             .map(|off| {
                 let col = (off.x + r) as usize;
                 let row = (off.y + r) as usize;
@@ -222,6 +256,25 @@ mod tests {
         let mut loaded = MatrixRegister::new(Connectivity::Con8);
         loaded.load(vec![c1, c2, c3]);
         assert_eq!(shifted.samples(), loaded.samples());
+    }
+
+    #[test]
+    fn load_with_and_shift_with_match_the_allocating_api() {
+        let cols: Vec<Vec<Pixel>> =
+            vec![col(&[1, 2, 3]), col(&[4, 5, 6]), col(&[7, 8, 9])];
+        let mut a = MatrixRegister::new(Connectivity::Con8);
+        a.load(cols.clone());
+        a.shift(col(&[10, 11, 12]));
+
+        let mut b = MatrixRegister::new(Connectivity::Con8);
+        b.load_with(|c, r| cols[c][r]);
+        let next = col(&[10, 11, 12]);
+        b.shift_with(|r| next[r]);
+
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.loads(), b.loads());
+        assert_eq!(a.shifts(), b.shifts());
+        assert_eq!(a.centre(), b.centre());
     }
 
     #[test]

@@ -254,9 +254,7 @@ pub fn run_intra_detailed_probed<O: IntraOp>(
                 .or_else(|| scan_slot.as_ref().map(|s| s.0.y as usize))
                 .unwrap_or_else(|| fsm.issued() / dims.width.max(1));
             let needed_oldest = inflight_line.saturating_sub(radius);
-            let can_load = !iim.is_full()
-                || iim.oldest_line().is_none_or(|old| old < needed_oldest);
-            if can_load {
+            if iim.can_accept(needed_oldest) {
                 let idx = txu_line * dims.width + txu_x;
                 let px = zbt.read_input_pixel(ZbtRegion::InputA, idx)?;
                 if probe.is_enabled() && txu_x == 0 {
@@ -533,7 +531,7 @@ pub fn run_inter_detailed_probed<O: InterOp>(
 }
 
 /// The full-square shape backing the matrix register for any sub-shape.
-fn square_shape(shape: Connectivity) -> Connectivity {
+pub(crate) fn square_shape(shape: Connectivity) -> Connectivity {
     match shape.radius() {
         0 => Connectivity::Con0,
         1 => Connectivity::Con8,
@@ -549,28 +547,29 @@ fn drive_matrix(
 ) {
     let r = square.radius() as i32;
     let side = (2 * r + 1) as usize;
-    let column = |dx: i32| -> Vec<Pixel> {
-        (-r..=r)
-            .map(|dy| {
-                samples
-                    .iter()
-                    .find(|(o, _)| o.x == dx && o.y == dy)
-                    .map(|(_, p)| *p)
-                    .unwrap_or_default()
-            })
-            .collect()
+    // Full-square fetches arrive in row-major offset order, so the cell
+    // for (dx, dy) normally sits at a fixed index; fall back to a scan
+    // when border skipping thinned the sample list.
+    let sample_at = |dx: i32, dy: i32| -> Pixel {
+        let idx = (dy + r) as usize * side + (dx + r) as usize;
+        match samples.get(idx) {
+            Some((o, p)) if o.x == dx && o.y == dy => *p,
+            _ => samples
+                .iter()
+                .find(|(o, _)| o.x == dx && o.y == dy)
+                .map(|(_, p)| *p)
+                .unwrap_or_default(),
+        }
     };
     match fetch {
         FetchKind::Load => {
-            let cols: Vec<Vec<Pixel>> = (-r..=r).map(column).collect();
-            debug_assert_eq!(cols.len(), side);
-            matrix.load(cols);
+            matrix.load_with(|col, row| sample_at(col as i32 - r, row as i32 - r));
         }
         FetchKind::Shift => {
             if matrix.is_valid() {
-                matrix.shift(column(r));
+                matrix.shift_with(|row| sample_at(r, row as i32 - r));
             } else {
-                matrix.load((-r..=r).map(column).collect());
+                matrix.load_with(|col, row| sample_at(col as i32 - r, row as i32 - r));
             }
         }
     }

@@ -278,6 +278,198 @@ impl ZbtMemory {
         Ok(Pixel::from_words(lo, hi))
     }
 
+    /// Writes a run of input pixels starting at linear index `start` —
+    /// the bulk DMA-inbound path. Data movement and accounting are
+    /// identical to `pixels.len()` calls of
+    /// [`ZbtMemory::write_input_pixel`], with one bounds check per bank
+    /// instead of one per word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZbtOutOfRange`] when the run exceeds the
+    /// bank, and rejects [`ZbtRegion::Result`] which is not pixel-paired.
+    pub fn write_input_run(
+        &mut self,
+        region: ZbtRegion,
+        start: usize,
+        pixels: &[Pixel],
+    ) -> EngineResult<Cycles> {
+        if region == ZbtRegion::Result {
+            return Err(EngineError::PipelineHazard {
+                detail: "result region is written via write_result_pixel",
+            });
+        }
+        let n = pixels.len();
+        if n == 0 {
+            return Ok(Cycles(0));
+        }
+        let (lo_bank, hi_bank) = self.region_banks(region);
+        self.check(lo_bank, start + n - 1)?;
+        self.check(hi_bank, start + n - 1)?;
+        for (dst, px) in self.banks[lo_bank][start..start + n].iter_mut().zip(pixels) {
+            *dst = px.to_words().0;
+        }
+        for (dst, px) in self.banks[hi_bank][start..start + n].iter_mut().zip(pixels) {
+            *dst = px.to_words().1;
+        }
+        self.stats[lo_bank].word_writes += n as u64;
+        self.stats[hi_bank].word_writes += n as u64;
+        Ok(Cycles(n as u64)) // both banks in parallel, one cycle per pixel
+    }
+
+    /// Reads a run of `count` input pixels starting at `start` — the bulk
+    /// form of [`ZbtMemory::read_input_pixel`] with identical accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZbtOutOfRange`] when the run exceeds the
+    /// bank, and rejects the result region.
+    pub fn read_input_run(
+        &mut self,
+        region: ZbtRegion,
+        start: usize,
+        count: usize,
+    ) -> EngineResult<Vec<Pixel>> {
+        if region == ZbtRegion::Result {
+            return Err(EngineError::PipelineHazard {
+                detail: "result region is read via read_result_pixel",
+            });
+        }
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let (lo_bank, hi_bank) = self.region_banks(region);
+        self.check(lo_bank, start + count - 1)?;
+        self.check(hi_bank, start + count - 1)?;
+        let out = self.banks[lo_bank][start..start + count]
+            .iter()
+            .zip(&self.banks[hi_bank][start..start + count])
+            .map(|(&lo, &hi)| Pixel::from_words(lo, hi))
+            .collect();
+        self.stats[lo_bank].word_reads += count as u64;
+        self.stats[hi_bank].word_reads += count as u64;
+        self.pixel_access_cycles += count as u64;
+        Ok(out)
+    }
+
+    /// Reads a run of `count` pixel pairs from both input regions — the
+    /// bulk form of [`ZbtMemory::read_input_pair`] with identical
+    /// accounting (all four banks fire together, one cycle per pair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZbtOutOfRange`] when the run exceeds a bank.
+    pub fn read_input_pair_run(
+        &mut self,
+        start: usize,
+        count: usize,
+    ) -> EngineResult<Vec<(Pixel, Pixel)>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        for bank in 0..4 {
+            self.check(bank, start + count - 1)?;
+        }
+        let range = start..start + count;
+        let out = self.banks[0][range.clone()]
+            .iter()
+            .zip(&self.banks[1][range.clone()])
+            .zip(self.banks[2][range.clone()].iter().zip(&self.banks[3][range]))
+            .map(|((&a_lo, &a_hi), (&b_lo, &b_hi))| {
+                (Pixel::from_words(a_lo, a_hi), Pixel::from_words(b_lo, b_hi))
+            })
+            .collect();
+        for bank in 0..4 {
+            self.stats[bank].word_reads += count as u64;
+        }
+        self.pixel_access_cycles += count as u64;
+        Ok(out)
+    }
+
+    /// Writes a run of result pixels starting at `start` — the bulk form
+    /// of [`ZbtMemory::write_result_pixel`] with identical data layout
+    /// (Res_block_A/B split at the image midpoint) and accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZbtOutOfRange`] when a run segment exceeds
+    /// its result bank.
+    pub fn write_result_run(
+        &mut self,
+        start: usize,
+        total_pixels: usize,
+        pixels: &[Pixel],
+    ) -> EngineResult<Cycles> {
+        let n = pixels.len();
+        if n == 0 {
+            return Ok(Cycles(0));
+        }
+        let (bank_a, bank_b) = self.region_banks(ZbtRegion::Result);
+        let half = total_pixels.div_ceil(2);
+        let first_len = n.min(half.saturating_sub(start));
+        let second_local = (start + first_len).saturating_sub(half);
+        let segments = [
+            (bank_a, start, &pixels[..first_len]),
+            (bank_b, second_local, &pixels[first_len..]),
+        ];
+        for (bank, local, seg) in segments {
+            if seg.is_empty() {
+                continue;
+            }
+            self.check(bank, 2 * (local + seg.len() - 1) + 1)?;
+            let dst = &mut self.banks[bank][2 * local..2 * (local + seg.len())];
+            for (pair, px) in dst.chunks_exact_mut(2).zip(seg) {
+                let (lo, hi) = px.to_words();
+                pair[0] = lo;
+                pair[1] = hi;
+            }
+            self.stats[bank].word_writes += 2 * seg.len() as u64;
+        }
+        self.pixel_access_cycles += n as u64;
+        Ok(Cycles(2 * n as u64)) // sequential words within each bank
+    }
+
+    /// Reads back a run of `count` result pixels — the bulk form of
+    /// [`ZbtMemory::read_result_pixel`] (outbound DMA path; word-level
+    /// accounting only, like the per-pixel call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZbtOutOfRange`] when a run segment exceeds
+    /// its result bank.
+    pub fn read_result_run(
+        &mut self,
+        start: usize,
+        total_pixels: usize,
+        count: usize,
+    ) -> EngineResult<Vec<Pixel>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let (bank_a, bank_b) = self.region_banks(ZbtRegion::Result);
+        let half = total_pixels.div_ceil(2);
+        let first_len = count.min(half.saturating_sub(start));
+        let second_local = (start + first_len).saturating_sub(half);
+        let mut out = Vec::with_capacity(count);
+        let segments = [
+            (bank_a, start, first_len),
+            (bank_b, second_local, count - first_len),
+        ];
+        for (bank, local, len) in segments {
+            if len == 0 {
+                continue;
+            }
+            self.check(bank, 2 * (local + len - 1) + 1)?;
+            out.extend(
+                self.banks[bank][2 * local..2 * (local + len)]
+                    .chunks_exact(2)
+                    .map(|pair| Pixel::from_words(pair[0], pair[1])),
+            );
+            self.stats[bank].word_reads += 2 * len as u64;
+        }
+        Ok(out)
+    }
+
     /// Per-bank word statistics.
     #[must_use]
     pub fn stats(&self) -> &[BankStats] {
@@ -388,6 +580,67 @@ mod tests {
         assert!(z.fits(ImageFormat::Cif.dims()));
         assert!(z.fits(ImageFormat::Qcif.dims()));
         assert!(!z.fits(Dims::new(1024, 1024)));
+    }
+
+    #[test]
+    fn bulk_runs_match_per_pixel_calls() {
+        // Every bulk helper must leave the exact memory contents, bank
+        // statistics and pixel-access accounting of its per-pixel
+        // equivalent — including the odd-sized result-bank split.
+        let total = 51;
+        let pixels: Vec<Pixel> = (0..total)
+            .map(|i| Pixel::new(i as u8, 2, 3, i as u16, 900 + i as u16))
+            .collect();
+        let other: Vec<Pixel> = (0..total).map(|i| Pixel::from_luma(200 - i as u8)).collect();
+
+        let mut a = zbt();
+        for (i, px) in pixels.iter().enumerate() {
+            a.write_input_pixel(ZbtRegion::InputA, i, *px).unwrap();
+            a.write_input_pixel(ZbtRegion::InputB, i, other[i]).unwrap();
+        }
+        let mut b = zbt();
+        b.write_input_run(ZbtRegion::InputA, 0, &pixels).unwrap();
+        b.write_input_run(ZbtRegion::InputB, 0, &other).unwrap();
+        assert_eq!(a.stats(), b.stats());
+
+        let singles: Vec<Pixel> =
+            (0..total).map(|i| a.read_input_pixel(ZbtRegion::InputA, i).unwrap()).collect();
+        assert_eq!(b.read_input_run(ZbtRegion::InputA, 0, total).unwrap(), singles);
+        let pairs: Vec<(Pixel, Pixel)> =
+            (0..total).map(|i| a.read_input_pair(i).unwrap()).collect();
+        assert_eq!(b.read_input_pair_run(0, total).unwrap(), pairs);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.pixel_access_cycles(), b.pixel_access_cycles());
+
+        for (i, px) in pixels.iter().enumerate() {
+            a.write_result_pixel(i, total, *px).unwrap();
+        }
+        b.write_result_run(0, total, &pixels).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.pixel_access_cycles(), b.pixel_access_cycles());
+        let singles: Vec<Pixel> =
+            (0..total).map(|i| a.read_result_pixel(i, total).unwrap()).collect();
+        assert_eq!(singles, pixels, "result contents round-trip");
+        assert_eq!(b.read_result_run(0, total, total).unwrap(), pixels);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn bulk_runs_reject_out_of_range_and_result_region() {
+        let mut z = zbt();
+        let px = vec![Pixel::BLACK; 4];
+        assert!(z.write_input_run(ZbtRegion::Result, 0, &px).is_err());
+        assert!(z.read_input_run(ZbtRegion::Result, 0, 4).is_err());
+        let far = z.bank_words() - 2;
+        assert!(z.write_input_run(ZbtRegion::InputA, far, &px).is_err());
+        assert!(z.read_input_run(ZbtRegion::InputA, far, 4).is_err());
+        assert!(z.read_input_pair_run(far, 4).is_err());
+        assert!(z.write_result_run(far, 2 * z.bank_words(), &px).is_err());
+        assert!(z.read_result_run(far, 2 * z.bank_words(), 4).is_err());
+        // Empty runs are free no-ops.
+        assert!(z.write_input_run(ZbtRegion::InputA, 0, &[]).is_ok());
+        assert_eq!(z.read_input_run(ZbtRegion::InputA, 0, 0).unwrap(), vec![]);
+        assert_eq!(z.pixel_access_cycles(), 0);
     }
 
     #[test]

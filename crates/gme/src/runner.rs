@@ -197,6 +197,31 @@ impl SequenceRunner {
             mosaic,
         })
     }
+
+    /// Processes several independent clips concurrently on the `vip-par`
+    /// work pool, one fresh backend per clip.
+    ///
+    /// Frames *within* a clip are warm-start dependent (each pair's
+    /// prediction seeds the next), so the parallel grain is the clip:
+    /// `make_backend(i)` builds clip `i`'s private backend and each clip
+    /// runs exactly as [`SequenceRunner::run`] would serially. Outcomes
+    /// come back in clip order, identical at any thread count (asserted
+    /// by `batch_matches_serial_runs_at_any_thread_count`).
+    pub fn run_batch<B, M>(
+        &self,
+        clips: &[Vec<Frame>],
+        threads: usize,
+        make_backend: M,
+    ) -> Vec<CoreResult<SequenceReport>>
+    where
+        B: GmeBackend,
+        M: Fn(usize) -> B + Sync,
+    {
+        vip_par::map_indexed(clips.len(), threads, |i| {
+            let mut backend = make_backend(i);
+            self.run(clips[i].iter().cloned(), &mut backend)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +369,51 @@ mod tests {
             .on_track(Track::Engine)
             .iter()
             .any(|e| e.name == "intra_call" || e.name == "inter_call"));
+    }
+
+    #[test]
+    fn batch_matches_serial_runs_at_any_thread_count() {
+        let dims = Dims::new(48, 48);
+        let clips: Vec<Vec<Frame>> = [(1.0, 0.0), (0.0, 1.0), (1.5, -0.5), (0.5, 0.5)]
+            .iter()
+            .map(|&(dx, dy)| pan_sequence(dims, 4, dx, dy))
+            .collect();
+        let runner = SequenceRunner::new(GmeConfig::translational());
+
+        let serial: Vec<SequenceReport> = clips
+            .iter()
+            .map(|clip| {
+                let mut backend = SoftwareBackend::new();
+                runner.run(clip.iter().cloned(), &mut backend).unwrap()
+            })
+            .collect();
+
+        for threads in [1, 4, 8] {
+            let batch = runner.run_batch(&clips, threads, |_| SoftwareBackend::new());
+            assert_eq!(batch.len(), clips.len());
+            for (i, (b, s)) in batch.iter().zip(&serial).enumerate() {
+                let b = b.as_ref().unwrap_or_else(|e| panic!("clip {i}: {e}"));
+                assert_eq!(b.records, s.records, "clip {i} at {threads} threads");
+                assert_eq!(b.tally, s.tally, "clip {i} at {threads} threads");
+                assert_eq!(b.backend_seconds, s.backend_seconds, "clip {i}");
+                assert_eq!(b.pm_seconds, s.pm_seconds, "clip {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_per_clip_errors_in_order() {
+        let dims = Dims::new(32, 32);
+        let clips = vec![
+            pan_sequence(dims, 3, 1.0, 0.0),
+            Vec::new(), // empty clip must fail, others must still succeed
+            pan_sequence(dims, 3, 0.0, 1.0),
+        ];
+        let runner = SequenceRunner::new(GmeConfig::translational());
+        let batch = runner.run_batch(&clips, 4, |_| SoftwareBackend::new());
+        assert!(batch[0].is_ok());
+        assert!(matches!(batch[1], Err(CoreError::EmptyFrame)));
+        assert!(batch[2].is_ok());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::instr::{CostModel, InstrMix};
 #[must_use]
 pub fn call_mix_per_pixel(call: &CallDescriptor) -> InstrMix {
     let accesses = call.software_accesses_per_pixel() as f64;
-    let window = call.shape.offsets().len() as f64;
+    let window = call.shape.offset_count() as f64;
     let frames = if call.mode == AddressingMode::Inter { 2.0 } else { 1.0 };
     InstrMix {
         address_calc: accesses,

@@ -7,12 +7,17 @@
 //! vipctl segment --tolerance T [--size WxH] [--out labels.pgm]
 //! vipctl trace <intra|inter|gme> [--size WxH] [--frames N] --out trace.json
 //! vipctl stats <intra|inter|gme> [--size WxH] [--frames N]
+//! vipctl bench [--quick] [--size WxH] [--reps N] [--out BENCH_engine.json]
 //! vipctl check [--root DIR]
 //! ```
 //!
 //! `trace` writes a Chrome trace-event JSON file loadable in Perfetto
 //! (<https://ui.perfetto.dev>); `stats` prints the engine metrics
-//! registry as a plain-text table.
+//! registry as a plain-text table. `bench` times the cycle-stepped
+//! simulation loop against the event-driven fast-forward path on the
+//! same workload, asserts bit-identical results, and records the
+//! baseline in `BENCH_engine.json` (`--quick` skips the file and runs a
+//! smoke-sized workload for CI).
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -51,6 +56,7 @@ usage:
   vipctl segment [--tolerance T] [--size WxH] [--out labels.pgm]
   vipctl trace <scenario> [--size WxH] [--frames N] [--out trace.json]
   vipctl stats <scenario> [--size WxH] [--frames N]
+  vipctl bench [--quick] [--size WxH] [--reps N] [--out BENCH_engine.json]
   vipctl check [--root DIR]
 sequences: singapore | dome | pisa | movie
 scenarios: intra (CIF Sobel, detailed) | inter (CIF AbsDiff, detailed) | gme";
@@ -67,6 +73,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "segment" => segment(&flags),
         "trace" => trace(args.get(1), &flags),
         "stats" => stats(args.get(1), &flags),
+        "bench" => bench(&flags),
         "check" => check(&flags),
         other => Err(format!("unknown command `{other}`").into()),
     }
@@ -290,6 +297,131 @@ fn run_scenario(
         }
         _ => Err("missing scenario (intra | inter | gme)".into()),
     }
+}
+
+/// `vipctl bench` — times the cycle-stepped loop against the
+/// event-driven fast-forward path on the same detailed workload (intra
+/// Sobel + inter AbsDiff), asserts the two produce bit-identical runs,
+/// and writes the tracked baseline JSON. `--quick` is the CI smoke
+/// mode: a small frame, one repetition, no baseline file.
+fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    use std::time::Instant;
+    use vip::engine::StepMode;
+
+    let quick = flags.contains_key("quick");
+    let default_dims = if quick { Dims::new(96, 72) } else { Dims::new(352, 288) };
+    let dims = parse_size(flags, default_dims)?;
+    let reps: u32 = flags
+        .get("reps")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(if quick { 1 } else { 5 });
+
+    let frame = Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 7 + p.y * 13) % 256) as u8));
+    let shifted =
+        Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 7 + p.y * 13 + 31) % 256) as u8));
+
+    // (mode name, cycles per rep, wall seconds, witness runs)
+    let mut measured = Vec::new();
+    for (name, mode) in [
+        ("cycle_stepped", StepMode::CycleStepped),
+        ("fast_forward", StepMode::FastForward),
+    ] {
+        let mut config = EngineConfig::prototype_detailed();
+        config.step_mode = mode;
+        let mut engine = AddressEngine::new(config)?;
+        // Warm-up pass; its runs double as the equivalence witnesses.
+        let intra = engine.run_intra(&frame, &SobelGradient::new())?;
+        let inter = engine.run_inter(&frame, &shifted, &AbsDiff::luma())?;
+        let cycles_per_rep = intra.report.processing.as_ref().map_or(0, |p| p.cycles)
+            + inter.report.processing.as_ref().map_or(0, |p| p.cycles);
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let a = engine.run_intra(&frame, &SobelGradient::new())?;
+            let b = engine.run_inter(&frame, &shifted, &AbsDiff::luma())?;
+            std::hint::black_box((a, b));
+        }
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        measured.push((name, cycles_per_rep, wall, (intra, inter)));
+    }
+
+    // Equivalence: the optimisation must be unobservable in the results.
+    let (stepped, fast) = (&measured[0], &measured[1]);
+    if stepped.3 .0.output != fast.3 .0.output
+        || stepped.3 .0.report != fast.3 .0.report
+        || stepped.3 .1.output != fast.3 .1.output
+        || stepped.3 .1.report != fast.3 .1.report
+    {
+        return Err("fast-forward run diverges from the cycle-stepped run".into());
+    }
+
+    let throughput =
+        |m: &(&str, u64, f64, _)| (m.1 as f64 * f64::from(reps)) / m.2;
+    let speedup = throughput(fast) / throughput(stepped);
+
+    println!("engine step-mode benchmark ({dims}, {reps} rep(s), intra Sobel + inter AbsDiff)");
+    println!(
+        "{:<16} {:>14} {:>12} {:>18}",
+        "mode", "cycles/rep", "wall ms", "sim-cycles/sec"
+    );
+    for m in &measured {
+        println!(
+            "{:<16} {:>14} {:>12.3} {:>18.0}",
+            m.0,
+            m.1,
+            m.2 * 1e3 / f64::from(reps),
+            throughput(m)
+        );
+    }
+    println!("speedup: {speedup:.2}x (results bit-identical)");
+    if speedup < 1.0 {
+        return Err(format!(
+            "fast-forward is slower than cycle-stepping ({speedup:.2}x)"
+        )
+        .into());
+    }
+
+    if !quick {
+        let out = flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "BENCH_engine.json".to_string());
+        let mut w = vip::obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("benchmark");
+        w.string("engine.step_mode");
+        w.key("workload");
+        w.string("intra_sobel+inter_absdiff");
+        w.key("dims");
+        w.string(&dims.to_string());
+        w.key("reps");
+        w.u64(u64::from(reps));
+        w.key("modes");
+        w.begin_object();
+        for m in &measured {
+            w.key(m.0);
+            w.begin_object();
+            w.key("cycles_per_rep");
+            w.u64(m.1);
+            w.key("wall_ms_per_rep");
+            w.f64(m.2 * 1e3 / f64::from(reps));
+            w.key("sim_cycles_per_sec");
+            w.f64(throughput(m));
+            w.end_object();
+        }
+        w.end_object();
+        w.key("speedup");
+        w.f64(speedup);
+        w.key("bit_identical");
+        w.bool(true);
+        w.end_object();
+        let json = w.finish();
+        vip::obs::json::validate(&json).map_err(|e| format!("internal JSON error: {e}"))?;
+        std::fs::write(&out, json + "\n")?;
+        println!("baseline → {out}");
+    }
+    Ok(())
 }
 
 /// `vipctl check` — static schedule/hazard verification plus workspace

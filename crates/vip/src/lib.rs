@@ -21,6 +21,12 @@
 //!   hazard freedom and call-timeline ordering without running the
 //!   simulator, plus the zero-dependency workspace lints
 //!   (`vipctl check` / the `vip-check` binary).
+//! * [`obs`] (`vip-obs`) — the zero-dependency observability layer:
+//!   event bus, metrics registry, Perfetto trace export and the JSON
+//!   writer backing `vipctl trace` / `vipctl bench`.
+//! * [`par`] (`vip-par`) — zero-dependency scoped-thread work pool with
+//!   deterministic result ordering, backing the parallel sweeps in the
+//!   benches, the GME batch runner and the `vip-check` proofs.
 //!
 //! ## Quick start
 //!
@@ -47,5 +53,7 @@ pub use vip_check as check;
 pub use vip_core as core;
 pub use vip_engine as engine;
 pub use vip_gme as gme;
+pub use vip_obs as obs;
+pub use vip_par as par;
 pub use vip_profiling as profiling;
 pub use vip_video as video;

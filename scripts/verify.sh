@@ -15,6 +15,9 @@ cargo test -q --workspace
 echo "==> vip-check (static schedule/hazard verifier + workspace lint)"
 cargo run --release -q -p vip-check -- .
 
+echo "==> vipctl bench --quick (fast-forward equivalence + speedup smoke)"
+cargo run --release -q -p vip --bin vipctl -- bench --quick
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --all-targets --workspace -- -D warnings
 

@@ -1,0 +1,192 @@
+//! Differential tests: event-driven fast-forward vs cycle-stepped
+//! simulation.
+//!
+//! `StepMode::FastForward` claims to be a pure performance optimisation:
+//! on every addressing mode and every configuration it must produce
+//! **bit-identical** results to `StepMode::CycleStepped` — the output
+//! frame, the full [`vip::engine::EngineReport`] (processing statistics
+//! including the fig. 5 stage trace, ZBT access counts, timeline), the
+//! accumulated [`vip::engine::EngineStats`], the §4.1 schedule instants,
+//! and the error verdict for configurations whose eviction gate
+//! deadlocks. This sweep asserts exactly that over ~100 xorshift-seeded
+//! configurations, run in parallel through `vip-par` — whose own
+//! determinism (identical output at 1 and N threads) is asserted along
+//! the way.
+
+use vip::check::schedule::instants;
+use vip::core::frame::Frame;
+use vip::core::geometry::{Dims, Point};
+use vip::core::ops::arith::AbsDiff;
+use vip::core::ops::filter::BoxBlur;
+use vip::core::ops::segment_ops::HomogeneityCriterion;
+use vip::core::pixel::Pixel;
+use vip::engine::{AddressEngine, EngineConfig, EngineError, EngineRun, StepMode};
+
+/// Number of seeded random configurations per differential sweep.
+const CONFIGS: u64 = 100;
+
+/// One random detailed configuration, drawn across (and beyond) the
+/// legal IIM/OIM/drain range so both clean and deadlocking cases appear.
+fn random_case(seed: u64) -> (EngineConfig, Dims, usize) {
+    let mut rng = vip::video::rng::XorShift64::new(seed ^ 0x5eed_f0f0);
+    let width = 4 + (rng.next_u64() % 29) as usize; // 4..=32
+    let height = 4 + (rng.next_u64() % 21) as usize; // 4..=24
+    let radius = (rng.next_u64() % 4) as usize; // 0..=3
+    let mut config = EngineConfig::prototype_detailed();
+    config.iim_lines = 2 + (rng.next_u64() % 9) as usize;
+    config.oim_lines = 1 + (rng.next_u64() % 16) as usize;
+    config.oim_drain_cycles_per_pixel = 1 + rng.next_u64() % 4;
+    config.output_latency_fraction = [0.0, 0.125, 0.25, 0.5][(rng.next_u64() % 4) as usize];
+    (config, Dims::new(width, height), radius)
+}
+
+fn test_frame(dims: Dims) -> Frame {
+    Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 7 + p.y * 13) % 256) as u8))
+}
+
+fn with_mode(base: &EngineConfig, mode: StepMode) -> EngineConfig {
+    let mut cfg = base.clone();
+    cfg.step_mode = mode;
+    cfg
+}
+
+/// Runs one intra call in the given step mode; returns the run plus the
+/// engine's accumulated stats.
+fn intra_in_mode(
+    base: &EngineConfig,
+    dims: Dims,
+    radius: usize,
+    trace_limit: usize,
+    mode: StepMode,
+) -> Result<(EngineRun, vip::engine::EngineStats), EngineError> {
+    let mut engine = AddressEngine::new(with_mode(base, mode))?;
+    engine.set_trace_limit(trace_limit);
+    let op = BoxBlur::with_radius(radius).expect("radius ≤ 4");
+    let run = engine.run_intra(&test_frame(dims), &op)?;
+    Ok((run, engine.stats()))
+}
+
+/// Asserts two same-seed runs are indistinguishable, down to the f64
+/// schedule instants (computed from identical inputs, so exactly equal).
+fn assert_identical(
+    stepped: &(EngineRun, vip::engine::EngineStats),
+    fast: &(EngineRun, vip::engine::EngineStats),
+    context: &str,
+) {
+    assert_eq!(stepped.0.output, fast.0.output, "{context}: output pixels diverge");
+    assert_eq!(stepped.0.report, fast.0.report, "{context}: reports diverge");
+    assert_eq!(stepped.1, fast.1, "{context}: engine stats diverge");
+    let si = instants(&stepped.0.report.timeline);
+    let fi = instants(&fast.0.report.timeline);
+    assert_eq!(si, fi, "{context}: §4.1 schedule instants diverge");
+}
+
+/// One seed's verdict, compact enough to compare across thread counts.
+fn intra_verdict(seed: u64) -> String {
+    let (config, dims, radius) = random_case(seed);
+    let stepped = intra_in_mode(&config, dims, radius, 32, StepMode::CycleStepped);
+    let fast = intra_in_mode(&config, dims, radius, 32, StepMode::FastForward);
+    match (&stepped, &fast) {
+        (Ok(s), Ok(f)) => {
+            assert_identical(s, f, &format!("seed {seed} {dims:?} r{radius}"));
+            let p = s.0.report.processing.as_ref().expect("detailed stats");
+            format!(
+                "ok cycles={} iim={} oim={} occ={} trace={}",
+                p.cycles, p.iim_stalls, p.oim_stalls, p.oim_max_occupancy, p.trace.len()
+            )
+        }
+        (Err(EngineError::PipelineHazard { .. }), Err(EngineError::PipelineHazard { .. })) => {
+            "deadlock".to_owned()
+        }
+        (s, f) => panic!(
+            "seed {seed}: verdicts diverge — stepped {:?}, fast {:?}",
+            s.as_ref().map(|_| "ok").map_err(ToString::to_string),
+            f.as_ref().map(|_| "ok").map_err(ToString::to_string),
+        ),
+    }
+}
+
+#[test]
+fn intra_fast_forward_is_bit_identical_across_seeded_configs() {
+    let threads = vip::par::default_threads();
+    let verdicts = vip::par::map_indexed(CONFIGS as usize, threads, |i| intra_verdict(i as u64));
+    let clean = verdicts.iter().filter(|v| v.starts_with("ok")).count();
+    let deadlocked = verdicts.iter().filter(|v| *v == "deadlock").count();
+    // The sweep must exercise both verdicts to mean anything.
+    assert!(clean >= 20, "only {clean} clean configurations out of {CONFIGS}");
+    assert!(deadlocked >= 10, "only {deadlocked} deadlocks out of {CONFIGS}");
+
+    // vip-par determinism: the same sweep serially, byte-identical.
+    let serial = vip::par::map_indexed(CONFIGS as usize, 1, |i| intra_verdict(i as u64));
+    assert_eq!(verdicts, serial, "parallel sweep diverges from serial");
+}
+
+#[test]
+fn inter_fast_forward_is_bit_identical() {
+    for seed in 0..24 {
+        let (config, dims, _) = random_case(seed);
+        let a = test_frame(dims);
+        let b = Frame::from_fn(dims, |p| Pixel::from_luma(((p.x * 5 + p.y * 3 + 17) % 256) as u8));
+        let mut runs = Vec::new();
+        for mode in [StepMode::CycleStepped, StepMode::FastForward] {
+            let mut engine = AddressEngine::new(with_mode(&config, mode)).expect("valid config");
+            engine.set_trace_limit(24);
+            let run = engine
+                .run_inter(&a, &b, &AbsDiff::luma())
+                .unwrap_or_else(|e| panic!("seed {seed} ({mode:?}): {e}"));
+            runs.push((run, engine.stats()));
+        }
+        assert_identical(&runs[0], &runs[1], &format!("inter seed {seed} {dims:?}"));
+    }
+}
+
+#[test]
+fn segment_calls_are_mode_independent() {
+    // Segment (and segment-indexed) addressing runs the software path in
+    // both step modes — the §5 outlook engine has no cycle-stepped
+    // datapath — so the whole report must be identical by construction.
+    let dims = Dims::new(24, 18);
+    let frame = test_frame(dims);
+    let mut reports = Vec::new();
+    for mode in [StepMode::CycleStepped, StepMode::FastForward] {
+        let mut cfg = EngineConfig::outlook_v2();
+        cfg.step_mode = mode;
+        let mut engine = AddressEngine::new(cfg).expect("valid config");
+        let run = engine
+            .run_segment(
+                &frame,
+                &[Point::new(12, 9)],
+                &HomogeneityCriterion::luma(40),
+                vip::core::addressing::segment::SegmentOptions::default(),
+            )
+            .expect("segment call succeeds");
+        reports.push((run, engine.stats()));
+    }
+    assert_eq!(reports[0].0.result.output, reports[1].0.result.output);
+    assert_eq!(reports[0].0.result.segment, reports[1].0.result.segment);
+    assert_eq!(reports[0].0.report, reports[1].0.report);
+    assert_eq!(reports[0].1, reports[1].1);
+    assert_eq!(
+        instants(&reports[0].0.report.timeline),
+        instants(&reports[1].0.report.timeline)
+    );
+}
+
+#[test]
+fn recorder_attaches_force_the_stepped_path_and_stay_identical() {
+    // A recorded fast-forward engine silently steps (per-cycle spans need
+    // the per-cycle loop) — statistics must still match an unrecorded run.
+    let (config, dims, radius) = random_case(3);
+    let unrecorded = intra_in_mode(&config, dims, radius, 0, StepMode::FastForward)
+        .expect("seed 3 is a clean configuration");
+
+    let mut engine =
+        AddressEngine::new(with_mode(&config, StepMode::FastForward)).expect("valid config");
+    let session = vip::engine::Session::new();
+    engine.set_recorder(session.recorder());
+    let op = BoxBlur::with_radius(radius).expect("radius ≤ 4");
+    let run = engine.run_intra(&test_frame(dims), &op).expect("recorded run succeeds");
+    assert_eq!(run.output, unrecorded.0.output);
+    assert_eq!(run.report, unrecorded.0.report);
+    assert!(!session.finish().is_empty(), "recorded run must emit spans");
+}

@@ -18,7 +18,9 @@
 //!
 //! All of it over ≥100 xorshift-seeded random configurations, so the
 //! two models are compared across the configuration space rather than
-//! at a handful of hand-picked points.
+//! at a handful of hand-picked points. Seeds are independent, so each
+//! sweep fans out across the `vip-par` work pool; a panicking seed
+//! still fails the test (scoped-thread panics propagate on join).
 
 use vip::check::occupancy::{check_iim, oim_occupancy_bound};
 use vip::check::schedule::{instants, timeline_of, INSTANT_LABELS};
@@ -83,9 +85,8 @@ fn assert_ordered(run: &EngineRun, context: &str) {
 
 #[test]
 fn iim_verdicts_match_detailed_simulation() {
-    let mut clean = 0u64;
-    let mut deadlocked = 0u64;
-    for seed in 0..CONFIGS {
+    let verdicts = vip::par::map_indexed(CONFIGS as usize, vip::par::default_threads(), |i| {
+        let seed = i as u64;
         let (config, dims, radius) = random_case(seed);
         let scenario =
             Scenario::new("seeded", config.clone(), dims, CallKind::Intra { radius });
@@ -94,10 +95,10 @@ fn iim_verdicts_match_detailed_simulation() {
         let outcome = run_detailed_intra(&config, dims, radius);
         match (static_deadlock, outcome) {
             (false, Ok(run)) => {
-                clean += 1;
                 assert_ordered(&run, &format!("seed {seed} ({scenario})"));
+                true
             }
-            (true, Err(EngineError::PipelineHazard { .. })) => deadlocked += 1,
+            (true, Err(EngineError::PipelineHazard { .. })) => false,
             (false, Err(e)) => {
                 panic!("seed {seed}: static says clean but detailed run failed: {e} ({scenario})")
             }
@@ -108,7 +109,9 @@ fn iim_verdicts_match_detailed_simulation() {
                 panic!("seed {seed}: expected a PipelineHazard deadlock, got: {e} ({scenario})")
             }
         }
-    }
+    });
+    let clean = verdicts.iter().filter(|ok| **ok).count();
+    let deadlocked = verdicts.len() - clean;
     // The sweep must actually exercise both verdicts.
     assert!(clean >= 20, "only {clean} clean configurations out of {CONFIGS}");
     assert!(deadlocked >= 10, "only {deadlocked} deadlocking configurations out of {CONFIGS}");
@@ -116,13 +119,13 @@ fn iim_verdicts_match_detailed_simulation() {
 
 #[test]
 fn detailed_oim_occupancy_stays_within_static_bound() {
-    let mut checked = 0u64;
-    for seed in 0..CONFIGS {
+    let checks = vip::par::map_indexed(CONFIGS as usize, vip::par::default_threads(), |i| {
+        let seed = i as u64;
         let (config, dims, radius) = random_case(seed);
         let scenario =
             Scenario::new("seeded", config.clone(), dims, CallKind::Intra { radius });
         if !check_iim(&scenario).is_empty() {
-            continue; // deadlock cases covered by the verdict test
+            return false; // deadlock cases covered by the verdict test
         }
         let run = run_detailed_intra(&config, dims, radius)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -133,14 +136,16 @@ fn detailed_oim_occupancy_stays_within_static_bound() {
             "seed {seed}: measured OIM occupancy {} exceeds the static bound {bound} ({scenario})",
             stats.oim_max_occupancy,
         );
-        checked += 1;
-    }
+        true
+    });
+    let checked = checks.iter().filter(|ok| **ok).count();
     assert!(checked >= 20, "only {checked} successful runs to bound-check");
 }
 
 #[test]
 fn detailed_inter_matches_static_bounds_too() {
-    for seed in 0..24 {
+    vip::par::map_indexed(24, vip::par::default_threads(), |i| {
+        let seed = i as u64;
         let (config, dims, _) = random_case(seed);
         let scenario = Scenario::new("seeded", config.clone(), dims, CallKind::Inter);
         let mut engine = AddressEngine::new(config.clone()).expect("valid config");
@@ -158,20 +163,21 @@ fn detailed_inter_matches_static_bounds_too() {
             "seed {seed}: inter occupancy {} exceeds bound ({scenario})",
             stats.oim_max_occupancy,
         );
-    }
+    });
 }
 
 #[test]
 fn static_timeline_is_the_engine_timeline() {
     // `timeline_of` must describe the very timeline an analytic run
     // reports: the static schedule checks then transfer to real runs.
-    for seed in 0..CONFIGS {
+    vip::par::map_indexed(CONFIGS as usize, vip::par::default_threads(), |i| {
+        let seed = i as u64;
         let (mut config, dims, radius) = random_case(seed);
         config.fidelity = vip::engine::SimulationFidelity::Analytic;
         let scenario =
             Scenario::new("seeded", config.clone(), dims, CallKind::Intra { radius });
         if !check_iim(&scenario).is_empty() {
-            continue;
+            return;
         }
         let run = run_detailed_intra(&config, dims, radius)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -183,5 +189,5 @@ fn static_timeline_is_the_engine_timeline() {
                 "seed {seed}: static instant {s:.12e} ≠ reported {r:.12e} ({scenario})"
             );
         }
-    }
+    });
 }
