@@ -671,6 +671,37 @@ mod tests {
     }
 
     #[test]
+    fn injected_orphan_attribution_key_is_caught() {
+        // The attribution keys (`attrib.*`, the `vipctl report` buckets)
+        // go through the same orphan cross-check as the engine counters:
+        // declaring one without recording it anywhere must be flagged.
+        let root = fixture_root("orphan-attrib-key");
+        fs::write(
+            root.join("crates/engine/src/report.rs"),
+            "pub mod keys {\n\
+             pub const BUSY: &str = \"attrib.pu.busy_cycles\";\n\
+             pub const DRAIN: &str = \"attrib.oim.drain_cycles\";\n\
+             }\n\
+             pub fn record(r: &mut R) { r.inc(keys::BUSY, 1); }\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/engine/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub mod report;\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&root);
+        let orphans: Vec<&Violation> = report
+            .violations
+            .iter()
+            .filter(|v| v.check == "lint.metric_key_orphan")
+            .collect();
+        assert_eq!(orphans.len(), 1, "{report}");
+        assert!(orphans[0].message.contains("attrib.oim.drain_cycles"));
+        assert!(orphans[0].witness.contains("report.rs"));
+    }
+
+    #[test]
     fn injected_unknown_key_is_caught_with_location() {
         let root = fixture_root("unknown-key");
         fs::write(

@@ -190,6 +190,14 @@ impl AddressEngine {
         schedule: Option<&DmaSchedule>,
     ) {
         record_into(&mut self.metrics, report);
+        if report.processing.is_some() {
+            // Detailed runs reset the bank counters first, so they hold
+            // exactly this call's traffic (input load through result
+            // unload) — the per-bank duty behind `vipctl report`.
+            for (bank, s) in self.zbt.stats().iter().enumerate() {
+                self.metrics.inc(crate::report::zbt_bank_key(bank), s.total());
+            }
+        }
         if self.recorder.is_enabled() {
             let t0 = self.clock_ns;
             let end = t0 + seconds_to_ns(report.timeline.total);

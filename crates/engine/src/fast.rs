@@ -189,6 +189,10 @@ pub fn run_intra_fast<O: IntraOp>(
                     stats.oim_stalls += skipped;
                 } else if scan_slot.is_some() && fetch_slot.is_none() {
                     stats.iim_stalls += skipped;
+                } else {
+                    // Every slot empty and the sweep exhausted: the
+                    // skipped cycles are pure drain-tail idle.
+                    stats.idle_cycles += skipped;
                 }
             }
         }
@@ -197,6 +201,12 @@ pub fn run_intra_fast<O: IntraOp>(
         cycles += 1;
         if cycles > bound {
             return Err(hazard);
+        }
+
+        // Idle classification (same cycle-start predicate as the stepped
+        // loop): nothing in flight and nothing left to issue.
+        if exec_slot.is_none() && fetch_slot.is_none() && scan_slot.is_none() && fsm.len() == 0 {
+            stats.idle_cycles += 1;
         }
 
         // OIM → ZBT drain: pops arrive in index order, so the popped
@@ -352,6 +362,9 @@ pub fn run_inter_fast<O: InterOp>(
                 drain_timer += skipped;
                 if blocked {
                     stats.oim_stalls += skipped;
+                } else {
+                    // Sweep exhausted, slots empty: drain-tail idle.
+                    stats.idle_cycles += skipped;
                 }
             }
         }
@@ -359,6 +372,12 @@ pub fn run_inter_fast<O: InterOp>(
         cycles += 1;
         if cycles > bound {
             return Err(hazard);
+        }
+
+        // Idle classification (same cycle-start predicate as the stepped
+        // loop): the sweep is exhausted and both slots are empty.
+        if exec_slot.is_none() && fetch_slot.is_none() && next_pixel >= total {
+            stats.idle_cycles += 1;
         }
 
         // Drain bookkeeping only — the ZBT writes land in one bulk pass

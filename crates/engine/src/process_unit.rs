@@ -39,6 +39,9 @@ pub struct ProcessingStats {
     pub iim_stalls: u64,
     /// Cycles the pipeline stalled on a full OIM.
     pub oim_stalls: u64,
+    /// Cycles every stage slot sat empty with nothing left to issue —
+    /// the drain tail where only the OIM → ZBT port is still working.
+    pub idle_cycles: u64,
     /// Matrix-register LOAD instructions.
     pub matrix_loads: u64,
     /// Matrix-register SHIFT instructions.
@@ -57,6 +60,16 @@ impl ProcessingStats {
             return 0.0;
         }
         self.cycles as f64 / self.pixels as f64
+    }
+
+    /// Cycles the pipeline actually advanced work. Stall, idle and busy
+    /// cycles are mutually exclusive per-cycle classifications, so this
+    /// complements the three counters exactly; the subtraction only
+    /// saturates on hand-built inconsistent stats.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.cycles
+            .saturating_sub(self.iim_stalls + self.oim_stalls + self.idle_cycles)
     }
 }
 
@@ -233,6 +246,12 @@ pub fn run_intra_detailed_probed<O: IntraOp>(
         }
         arbiter.next_cycle();
         let mut stalled: Option<&'static str> = None;
+
+        // Idle classification (slot state at cycle start, mirrored by
+        // `fast.rs`): nothing in flight and nothing left to issue.
+        if exec_slot.is_none() && fetch_slot.is_none() && scan_slot.is_none() && fsm.len() == 0 {
+            stats.idle_cycles += 1;
+        }
 
         // --- OIM → ZBT drain (result port, independent of input banks).
         drain_timer += 1;
@@ -465,6 +484,12 @@ pub fn run_inter_detailed_probed<O: InterOp>(
             });
         }
         let mut stalled: Option<&'static str> = None;
+
+        // Idle classification (slot state at cycle start, mirrored by
+        // `fast.rs`): the sweep is exhausted and both slots are empty.
+        if exec_slot.is_none() && fetch_slot.is_none() && next_pixel >= total {
+            stats.idle_cycles += 1;
+        }
 
         drain_timer += 1;
         if drain_timer >= config.oim_drain_cycles_per_pixel {

@@ -42,6 +42,50 @@ pub mod keys {
     pub const PU_MATRIX_SHIFTS: &str = "pu.matrix_shifts";
     /// Largest OIM occupancy observed across calls (gauge, maximum).
     pub const OIM_MAX_OCCUPANCY: &str = "oim.max_occupancy";
+    /// Cycles every pipeline slot sat empty — the drain tail (counter).
+    pub const PU_IDLE_CYCLES: &str = "pu.idle_cycles";
+    /// Cycles the pipeline advanced work: total minus stall and idle
+    /// buckets (counter).
+    pub const ATTRIB_PU_BUSY_CYCLES: &str = "attrib.pu.busy_cycles";
+    /// PCI seconds spent moving input payloads host → ZBT (gauge).
+    pub const ATTRIB_PCI_INPUT_SECONDS: &str = "attrib.pci.input_seconds";
+    /// PCI seconds spent moving result payloads ZBT → host (gauge).
+    pub const ATTRIB_PCI_OUTPUT_SECONDS: &str = "attrib.pci.output_seconds";
+    /// Host driver/interrupt overhead seconds per call (gauge).
+    pub const ATTRIB_HOST_OVERHEAD_SECONDS: &str = "attrib.host.overhead_seconds";
+    /// Call seconds not attributable to the PCI bus or host overhead —
+    /// the engine-side compute window (gauge).
+    pub const ATTRIB_ENGINE_NONPCI_SECONDS: &str = "attrib.engine.nonpci_seconds";
+    /// Words moved through ZBT bank 0 in detailed calls (counter).
+    pub const ZBT_BANK0_ACCESSES: &str = "zbt.bank0.access_words";
+    /// Words moved through ZBT bank 1 in detailed calls (counter).
+    pub const ZBT_BANK1_ACCESSES: &str = "zbt.bank1.access_words";
+    /// Words moved through ZBT bank 2 in detailed calls (counter).
+    pub const ZBT_BANK2_ACCESSES: &str = "zbt.bank2.access_words";
+    /// Words moved through ZBT bank 3 in detailed calls (counter).
+    pub const ZBT_BANK3_ACCESSES: &str = "zbt.bank3.access_words";
+    /// Words moved through ZBT bank 4 in detailed calls (counter).
+    pub const ZBT_BANK4_ACCESSES: &str = "zbt.bank4.access_words";
+    /// Words moved through ZBT bank 5 in detailed calls (counter).
+    pub const ZBT_BANK5_ACCESSES: &str = "zbt.bank5.access_words";
+}
+
+/// The registry key of ZBT bank `bank`'s word-access counter.
+///
+/// # Panics
+///
+/// Panics if `bank` is outside the six-bank fig. 3 map.
+#[must_use]
+pub fn zbt_bank_key(bank: usize) -> &'static str {
+    match bank {
+        0 => keys::ZBT_BANK0_ACCESSES,
+        1 => keys::ZBT_BANK1_ACCESSES,
+        2 => keys::ZBT_BANK2_ACCESSES,
+        3 => keys::ZBT_BANK3_ACCESSES,
+        4 => keys::ZBT_BANK4_ACCESSES,
+        5 => keys::ZBT_BANK5_ACCESSES,
+        _ => panic!("ZBT has six banks; no bank {bank}"),
+    }
 }
 
 /// Bucket bounds of the per-call latency histogram, in milliseconds.
@@ -69,11 +113,20 @@ pub fn record_into(registry: &mut Registry, report: &EngineReport) {
     );
     registry.inc(keys::HARDWARE_ACCESSES, report.hardware_accesses);
     registry.observe(keys::CALL_MS, &CALL_MS_BOUNDS, report.timeline.total * 1e3);
+    registry.add_gauge(keys::ATTRIB_PCI_INPUT_SECONDS, report.timeline.input_pci);
+    registry.add_gauge(keys::ATTRIB_PCI_OUTPUT_SECONDS, report.timeline.output_pci);
+    registry.add_gauge(
+        keys::ATTRIB_HOST_OVERHEAD_SECONDS,
+        report.timeline.interrupt_overhead,
+    );
+    registry.add_gauge(keys::ATTRIB_ENGINE_NONPCI_SECONDS, report.timeline.non_pci());
     if let Some(p) = &report.processing {
         registry.inc(keys::PU_CYCLES, p.cycles);
         registry.inc(keys::PU_PIXELS, p.pixels);
         registry.inc(keys::PU_IIM_STALLS, p.iim_stalls);
         registry.inc(keys::PU_OIM_STALLS, p.oim_stalls);
+        registry.inc(keys::PU_IDLE_CYCLES, p.idle_cycles);
+        registry.inc(keys::ATTRIB_PU_BUSY_CYCLES, p.busy_cycles());
         registry.inc(keys::PU_MATRIX_LOADS, p.matrix_loads);
         registry.inc(keys::PU_MATRIX_SHIFTS, p.matrix_shifts);
         registry.max_gauge(keys::OIM_MAX_OCCUPANCY, p.oim_max_occupancy as f64);

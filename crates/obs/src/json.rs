@@ -372,6 +372,209 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String>
     }
 }
 
+/// A parsed JSON value — the reading half of [`JsonWriter`], used by the
+/// trace-diff and bench-gate tooling to consume the documents this crate
+/// writes. Object members keep their document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which is lossless for the
+    /// magnitudes this workspace writes).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as ordered `(key, value)` members.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a single JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax
+    /// error; the grammar accepted is exactly [`validate`]'s.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        validate(text)?;
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let value = build_value(bytes, &mut pos);
+        skip_ws(bytes, &mut pos);
+        debug_assert_eq!(pos, bytes.len(), "validate admitted trailing data");
+        Ok(value)
+    }
+
+    /// Member `key` of an object (`None` for other variants or a missing
+    /// key).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered members, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a value from input that [`validate`] already accepted, so no
+/// syntax errors can occur here (enforced by the `parse` entry point).
+fn build_value(bytes: &[u8], pos: &mut usize) -> JsonValue {
+    match bytes[*pos] {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            while bytes[*pos] != b'}' {
+                skip_ws(bytes, pos);
+                let key = build_string(bytes, pos);
+                skip_ws(bytes, pos);
+                *pos += 1; // ':'
+                skip_ws(bytes, pos);
+                members.push((key, build_value(bytes, pos)));
+                skip_ws(bytes, pos);
+                if bytes[*pos] == b',' {
+                    *pos += 1;
+                    skip_ws(bytes, pos);
+                }
+            }
+            *pos += 1; // '}'
+            JsonValue::Object(members)
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            while bytes[*pos] != b']' {
+                items.push(build_value(bytes, pos));
+                skip_ws(bytes, pos);
+                if bytes[*pos] == b',' {
+                    *pos += 1;
+                    skip_ws(bytes, pos);
+                }
+            }
+            *pos += 1; // ']'
+            JsonValue::Array(items)
+        }
+        b'"' => JsonValue::String(build_string(bytes, pos)),
+        b't' => {
+            *pos += 4;
+            JsonValue::Bool(true)
+        }
+        b'f' => {
+            *pos += 5;
+            JsonValue::Bool(false)
+        }
+        b'n' => {
+            *pos += 4;
+            JsonValue::Null
+        }
+        _ => {
+            let start = *pos;
+            let _ = parse_number(bytes, pos);
+            let text = core::str::from_utf8(&bytes[start..*pos]).expect("validated ascii");
+            JsonValue::Number(text.parse().expect("validated number"))
+        }
+    }
+}
+
+/// Unescapes a validated string starting at the opening quote.
+fn build_string(bytes: &[u8], pos: &mut usize) -> String {
+    *pos += 1; // opening '"'
+    let mut out = String::new();
+    loop {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return out;
+            }
+            b'\\' => {
+                match bytes[*pos + 1] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = core::str::from_utf8(&bytes[*pos + 2..*pos + 6])
+                            .expect("validated hex");
+                        let code = u32::from_str_radix(hex, 16).expect("validated hex");
+                        // Lone surrogates cannot round-trip; the writer
+                        // never emits them, so substitute on read.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => unreachable!("validated escape {other}"),
+                }
+                *pos += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let len = utf8_len(bytes[*pos]);
+                let text =
+                    core::str::from_utf8(&bytes[*pos..*pos + len]).expect("input was &str");
+                out.push_str(text);
+                *pos += len;
+            }
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b < 0xe0 => 2,
+        b if b < 0xf0 => 3,
+        _ => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,5 +674,64 @@ mod tests {
     fn validator_rejects_runaway_nesting() {
         let deep = "[".repeat(200) + &"]".repeat(200);
         assert!(validate(&deep).is_err());
+    }
+
+    #[test]
+    fn value_parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.string("strip \"x\"\n");
+        w.key("n");
+        w.u64(42);
+        w.key("speed");
+        w.f64(3.766);
+        w.key("ok");
+        w.bool(true);
+        w.key("none");
+        w.null();
+        w.key("list");
+        w.begin_array();
+        w.i64(-1);
+        w.u64(2);
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("strip \"x\"\n"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("speed").unwrap().as_f64(), Some(3.766));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        let list = v.get("list").unwrap().as_array().unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].as_f64(), Some(-1.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_object().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn value_parser_handles_escapes_and_whitespace() {
+        let v = JsonValue::parse(" { \"k\" : [ \"\\u00e9\\t/\" , 1e2 ] } ").unwrap();
+        let items = v.get("k").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("é\t/"));
+        assert_eq!(items[1].as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn value_parser_rejects_what_validate_rejects() {
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn value_accessors_are_variant_strict() {
+        let v = JsonValue::parse("[1]").unwrap();
+        assert_eq!(v.get("x"), None);
+        assert_eq!(v.as_f64(), None);
+        assert_eq!(v.as_str(), None);
+        assert_eq!(v.as_object(), None);
+        assert!(JsonValue::parse("3").unwrap().as_array().is_none());
     }
 }

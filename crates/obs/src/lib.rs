@@ -4,7 +4,7 @@
 //! call timings, the ×30 Amdahl bound), but per-call summaries alone cannot
 //! show *why* a call costs what it does: DMA strip cadence, ZBT bank
 //! traffic, IIM/OIM occupancy and process-unit stalls all happen inside a
-//! call. This crate provides the three pieces the simulator needs to make
+//! call. This crate provides the pieces the simulator needs to make
 //! that visible, with no external dependencies:
 //!
 //! 1. **Event bus** — [`Session`] owns a buffer of [`TraceRecord`]s;
@@ -17,7 +17,11 @@
 //!    Chrome trace-event JSON (loadable in Perfetto or `chrome://tracing`,
 //!    one "thread" per subsystem), and [`Registry::text_table`] renders a
 //!    plain-text stats table. JSON is written by the in-crate
-//!    [`json::JsonWriter`], not serde.
+//!    [`json::JsonWriter`], not serde, and read back by
+//!    [`json::JsonValue`].
+//! 4. **Attribution & diffing** — [`Attribution`] turns a recording into
+//!    per-track busy/idle breakdowns, and [`diff_chrome_traces`] aligns
+//!    two exported traces and reports per-track deltas.
 //!
 //! Timestamps are `u64` nanoseconds on a *virtual* clock — the simulated
 //! engine/PCI time, not wall time — so traces line up with the paper's
@@ -39,12 +43,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod attrib;
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 
+pub use attrib::{Attribution, TrackUtilization};
+pub use diff::{diff_chrome_traces, TraceDiff, TrackDelta};
 pub use event::{AttrValue, Phase, Track, TraceRecord};
 pub use metrics::{Histogram, HistogramSummary, Registry};
 pub use recorder::{Recorder, Recording, Session};

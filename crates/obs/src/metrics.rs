@@ -194,6 +194,30 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one, combining per-thread
+    /// recorders from `vip-par` sweeps. Counts add bucket-wise; extrema
+    /// and sums combine exactly, so merging is order-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ — samples cannot be
+    /// re-bucketed after the fact, so merging such histograms would
+    /// silently misplace counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // Raw extrema start at ±infinity, so empty sides are identities.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The condensed summary.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -305,6 +329,30 @@ impl Registry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Folds another registry into this one: counters and gauges add,
+    /// histograms merge bucket-wise (see [`Histogram::merge`]). Used to
+    /// combine the per-thread registries of a `vip-par` sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a histogram present on both sides was created with
+    /// different bucket bounds.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in other.counters() {
+            self.inc(name, value);
+        }
+        for (name, value) in other.gauges() {
+            self.add_gauge(name, value);
+        }
+        for (name, theirs) in other.histograms() {
+            if let Some(mine) = self.histograms.get_mut(name) {
+                mine.merge(theirs);
+            } else {
+                self.histograms.insert(name.to_string(), theirs.clone());
+            }
+        }
+    }
+
     /// Removes every metric.
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -316,6 +364,60 @@ impl Registry {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises the registry as one JSON object with `counters`,
+    /// `gauges` and `histograms` members — the machine-readable twin of
+    /// [`Registry::text_table`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the registry into an open [`crate::json::JsonWriter`]
+    /// (one value).
+    pub fn write_json(&self, w: &mut crate::json::JsonWriter) {
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in self.counters() {
+            w.key(name);
+            w.u64(value);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, value) in self.gauges() {
+            w.key(name);
+            w.f64(value);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in self.histograms() {
+            let s = h.summary();
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(s.count);
+            w.key("mean");
+            w.f64(s.mean);
+            w.key("min");
+            w.f64(s.min);
+            w.key("max");
+            w.f64(s.max);
+            w.key("p50");
+            w.f64(s.p50);
+            w.key("p95");
+            w.f64(s.p95);
+            w.key("p99");
+            w.f64(s.p99);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
     }
 
     /// Renders the registry as an aligned plain-text table.
@@ -452,6 +554,89 @@ mod tests {
         let q = h.quantile(0.99);
         assert!((100.0..=200.0).contains(&q), "q={q}");
         assert_eq!(h.quantile(1.0), 200.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_do_not_panic() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max, s.mean), (0.0, 0.0, 0.0));
+        assert_eq!((s.p50, s.p95, s.p99), (0.0, 0.0, 0.0));
+        // A histogram with no finite bounds at all: only the overflow
+        // bucket exists, and empty quantiles still return 0.
+        let h = Histogram::with_bounds(&[]);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_extrema() {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut a = Histogram::with_bounds(&bounds);
+        a.observe(0.5);
+        a.observe(5.0);
+        let mut b = Histogram::with_bounds(&bounds);
+        b.observe(50.0);
+        b.observe(500.0); // overflow bucket
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 555.5);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 500.0);
+        assert_eq!(
+            a.buckets().iter().map(|b| b.1).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1]
+        );
+
+        // Merging mirrors sequential observation exactly.
+        let mut seq = Histogram::with_bounds(&bounds);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            seq.observe(v);
+        }
+        assert_eq!(a, seq);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::with_bounds(&[2.0]);
+        a.observe(1.0);
+        let before = a.clone();
+        a.merge(&Histogram::with_bounds(&[2.0]));
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut empty = Histogram::with_bounds(&[2.0]);
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty adopts the other side");
+        assert_eq!(empty.min(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[1.0]);
+        a.merge(&Histogram::with_bounds(&[2.0]));
+    }
+
+    #[test]
+    fn registry_merge_combines_all_metric_kinds() {
+        let mut a = Registry::new();
+        a.inc("calls", 2);
+        a.set_gauge("busy", 1.5);
+        a.observe("lat", &[1.0, 10.0], 0.5);
+        let mut b = Registry::new();
+        b.inc("calls", 3);
+        b.inc("other", 1);
+        b.add_gauge("busy", 0.5);
+        b.observe("lat", &[1.0, 10.0], 5.0);
+        b.observe("fresh", &[1.0], 0.25);
+        a.merge(&b);
+        assert_eq!(a.counter("calls"), 5);
+        assert_eq!(a.counter("other"), 1);
+        assert_eq!(a.gauge("busy"), 2.0);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("fresh").unwrap().count(), 1);
     }
 
     #[test]

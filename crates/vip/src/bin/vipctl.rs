@@ -6,32 +6,44 @@
 //! vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
 //! vipctl segment --tolerance T [--size WxH] [--out labels.pgm]
 //! vipctl trace <intra|inter|gme> [--size WxH] [--frames N] --out trace.json
-//! vipctl stats <intra|inter|gme> [--size WxH] [--frames N]
-//! vipctl bench [--quick] [--size WxH] [--reps N] [--out BENCH_engine.json]
+//! vipctl trace-diff <a.json> <b.json> [--threshold PCT]
+//! vipctl stats <intra|inter|gme> [--size WxH] [--frames N] [--format json]
+//! vipctl report <intra|inter|gme> [--size WxH] [--frames N] [--format json]
+//! vipctl bench [--quick] [--check] [--size WxH] [--reps N] [--out BENCH_engine.json]
 //! vipctl check [--root DIR]
 //! ```
 //!
 //! `trace` writes a Chrome trace-event JSON file loadable in Perfetto
-//! (<https://ui.perfetto.dev>); `stats` prints the engine metrics
-//! registry as a plain-text table. `bench` times the cycle-stepped
-//! simulation loop against the event-driven fast-forward path on the
-//! same workload, asserts bit-identical results, and records the
-//! baseline in `BENCH_engine.json` (`--quick` skips the file and runs a
-//! smoke-sized workload for CI).
+//! (<https://ui.perfetto.dev>); `trace-diff` aligns two exported traces
+//! and reports per-track busy-time and event-count deltas. `stats`
+//! prints the engine metrics registry; `report` adds the cycle
+//! attribution: per-track utilization, process-unit stall causes, ZBT
+//! bank duty, the PCI/host/engine split of every call second, and the
+//! Amdahl decomposition reproducing the paper's ×30-bound-vs-×5-measured
+//! gap. `bench` times the cycle-stepped simulation loop against the
+//! event-driven fast-forward path on the same workload, asserts
+//! bit-identical results, records the baseline in `BENCH_engine.json`,
+//! and appends one line to the `BENCH_history.jsonl` ledger; `--check`
+//! fails when the run regresses more than 10 % below the best recorded
+//! entry (`--quick` runs a smoke-sized workload for CI and never writes
+//! baselines).
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::process::ExitCode;
 
+use vip::core::accounting::CallDescriptor;
 use vip::core::addressing::labeling::label_all_segments;
 use vip::core::addressing::segment::SegmentOptions;
 use vip::core::geometry::Dims;
+use vip::core::neighborhood::Connectivity;
 use vip::core::ops::segment_ops::HomogeneityCriterion;
 use vip::core::frame::Frame;
 use vip::core::ops::arith::AbsDiff;
 use vip::core::ops::filter::SobelGradient;
-use vip::core::pixel::Pixel;
-use vip::engine::{AddressEngine, EngineConfig, Recording, ResourceEstimate, Session};
+use vip::core::pixel::{ChannelSet, Pixel};
+use vip::engine::report::keys;
+use vip::engine::{AddressEngine, EngineConfig, Recording, Registry, ResourceEstimate, Session};
 use vip::gme::{EngineBackend, GmeBackend, GmeConfig, SequenceRunner, SoftwareBackend};
 use vip::video::io::{write_pgm, Y4mWriter};
 use vip::video::TestSequence;
@@ -55,8 +67,10 @@ usage:
   vipctl gme <sequence> [--frames N] [--size WxH] [--software] [--mosaic out.pgm]
   vipctl segment [--tolerance T] [--size WxH] [--out labels.pgm]
   vipctl trace <scenario> [--size WxH] [--frames N] [--out trace.json]
-  vipctl stats <scenario> [--size WxH] [--frames N]
-  vipctl bench [--quick] [--size WxH] [--reps N] [--out BENCH_engine.json]
+  vipctl trace-diff <a.json> <b.json> [--threshold PCT]
+  vipctl stats <scenario> [--size WxH] [--frames N] [--format json]
+  vipctl report <scenario> [--size WxH] [--frames N] [--format json]
+  vipctl bench [--quick] [--check] [--size WxH] [--reps N] [--out BENCH_engine.json]
   vipctl check [--root DIR]
 sequences: singapore | dome | pisa | movie
 scenarios: intra (CIF Sobel, detailed) | inter (CIF AbsDiff, detailed) | gme";
@@ -72,7 +86,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "gme" => gme(args.get(1), &flags),
         "segment" => segment(&flags),
         "trace" => trace(args.get(1), &flags),
+        "trace-diff" => trace_diff(args.get(1), args.get(2), &flags),
         "stats" => stats(args.get(1), &flags),
+        "report" => report(args.get(1), &flags),
         "bench" => bench(&flags),
         "check" => check(&flags),
         other => Err(format!("unknown command `{other}`").into()),
@@ -257,11 +273,12 @@ fn segment(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 }
 
 /// Runs an observability scenario with a recorder attached and returns
-/// the finished recording plus the metrics-registry text table.
+/// the finished recording, the engine's metrics registry, and the frame
+/// dimensions the scenario processed.
 fn run_scenario(
     name: Option<&String>,
     flags: &HashMap<String, String>,
-) -> Result<(Recording, String), Box<dyn Error>> {
+) -> Result<(Recording, Registry, Dims), Box<dyn Error>> {
     let session = Session::new();
     match name.map(String::as_str) {
         Some(kind @ ("intra" | "inter")) => {
@@ -279,23 +296,35 @@ fn run_scenario(
                 });
                 engine.run_inter(&frame, &shifted, &AbsDiff::luma())?;
             }
-            let table = engine.metrics().text_table();
-            Ok((session.finish(), table))
+            let registry = engine.metrics().clone();
+            Ok((session.finish(), registry, dims))
         }
         Some("gme") => {
             let seq = scaled(&TestSequence::singapore(), flags)?;
-            let mut backend = EngineBackend::prototype();
+            let dims = seq.dims();
+            // Detailed fidelity so the report's stall buckets and ZBT
+            // bank duty reflect simulated cycles, not just the schedule.
+            let mut backend = EngineBackend::new(EngineConfig::prototype_detailed())?;
             backend.engine_mut().set_recorder(session.recorder());
             let runner =
                 SequenceRunner::new(GmeConfig::default()).with_recorder(session.recorder());
             runner.run(seq.frames(), &mut backend)?;
-            let table = backend.engine().metrics().text_table();
-            Ok((session.finish(), table))
+            let registry = backend.engine().metrics().clone();
+            Ok((session.finish(), registry, dims))
         }
         Some(other) if !other.starts_with("--") => {
             Err(format!("unknown scenario `{other}` (expected intra | inter | gme)").into())
         }
         _ => Err("missing scenario (intra | inter | gme)".into()),
+    }
+}
+
+/// Parses the `--format` flag: plain text by default, `json` on request.
+fn json_format(flags: &HashMap<String, String>) -> Result<bool, Box<dyn Error>> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(format!("unknown --format `{other}` (expected text | json)").into()),
     }
 }
 
@@ -336,14 +365,19 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         let cycles_per_rep = intra.report.processing.as_ref().map_or(0, |p| p.cycles)
             + inter.report.processing.as_ref().map_or(0, |p| p.cycles);
 
-        let t0 = Instant::now();
+        // Each repetition is timed on its own and the fastest one is
+        // kept: scheduler noise and CPU steal only ever slow a rep
+        // down, so the minimum is the stable estimate of what the
+        // machine can do — means wander far too much for a ±10 % gate.
+        let mut best_rep = f64::INFINITY;
         for _ in 0..reps {
+            let t0 = Instant::now();
             let a = engine.run_intra(&frame, &SobelGradient::new())?;
             let b = engine.run_inter(&frame, &shifted, &AbsDiff::luma())?;
+            best_rep = best_rep.min(t0.elapsed().as_secs_f64());
             std::hint::black_box((a, b));
         }
-        let wall = t0.elapsed().as_secs_f64().max(1e-9);
-        measured.push((name, cycles_per_rep, wall, (intra, inter)));
+        measured.push((name, cycles_per_rep, best_rep.max(1e-9), (intra, inter)));
     }
 
     // Equivalence: the optimisation must be unobservable in the results.
@@ -356,11 +390,10 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         return Err("fast-forward run diverges from the cycle-stepped run".into());
     }
 
-    let throughput =
-        |m: &(&str, u64, f64, _)| (m.1 as f64 * f64::from(reps)) / m.2;
+    let throughput = |m: &(&str, u64, f64, _)| m.1 as f64 / m.2;
     let speedup = throughput(fast) / throughput(stepped);
 
-    println!("engine step-mode benchmark ({dims}, {reps} rep(s), intra Sobel + inter AbsDiff)");
+    println!("engine step-mode benchmark ({dims}, best of {reps} rep(s), intra Sobel + inter AbsDiff)");
     println!(
         "{:<16} {:>14} {:>12} {:>18}",
         "mode", "cycles/rep", "wall ms", "sim-cycles/sec"
@@ -370,7 +403,7 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             "{:<16} {:>14} {:>12.3} {:>18.0}",
             m.0,
             m.1,
-            m.2 * 1e3 / f64::from(reps),
+            m.2 * 1e3,
             throughput(m)
         );
     }
@@ -380,6 +413,31 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             "fast-forward is slower than cycle-stepping ({speedup:.2}x)"
         )
         .into());
+    }
+
+    // Regression gate: compare against the best matching ledger entry
+    // *before* this run is appended, so a regressing run never pollutes
+    // the history it failed against.
+    let history_path = flags
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+    if flags.contains_key("check") {
+        let current = vip::gate::BenchRecord {
+            workload: "intra_sobel+inter_absdiff".to_string(),
+            dims: dims.to_string(),
+            speedup,
+            fast_cycles_per_sec: throughput(fast),
+        };
+        let history = match std::fs::read_to_string(&history_path) {
+            Ok(text) => vip::gate::parse_history(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("{history_path}: {e}").into()),
+        };
+        match vip::gate::check_current(&history, &current, 0.10) {
+            Ok(msg) => println!("gate: {msg}"),
+            Err(msg) => return Err(format!("gate: {msg}").into()),
+        }
     }
 
     if !quick {
@@ -405,7 +463,7 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             w.key("cycles_per_rep");
             w.u64(m.1);
             w.key("wall_ms_per_rep");
-            w.f64(m.2 * 1e3 / f64::from(reps));
+            w.f64(m.2 * 1e3);
             w.key("sim_cycles_per_sec");
             w.f64(throughput(m));
             w.end_object();
@@ -418,8 +476,17 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         w.end_object();
         let json = w.finish();
         vip::obs::json::validate(&json).map_err(|e| format!("internal JSON error: {e}"))?;
-        std::fs::write(&out, json + "\n")?;
+        std::fs::write(&out, json.clone() + "\n")?;
         println!("baseline → {out}");
+        // Append the same record to the append-only history ledger the
+        // `--check` gate reads (one JSON object per line).
+        use std::io::Write as _;
+        let mut ledger = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)?;
+        writeln!(ledger, "{json}")?;
+        println!("history  → {history_path}");
     }
     Ok(())
 }
@@ -457,7 +524,7 @@ fn check(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn trace(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
-    let (recording, _) = run_scenario(name, flags)?;
+    let (recording, _, _) = run_scenario(name, flags)?;
     let out = flags.get("out").cloned().unwrap_or_else(|| "trace.json".to_string());
     std::fs::write(&out, recording.to_chrome_json())?;
     let tracks: Vec<&str> = recording.tracks().iter().map(|t| t.name()).collect();
@@ -472,13 +539,233 @@ fn trace(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), B
 }
 
 fn stats(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
-    let (recording, table) = run_scenario(name, flags)?;
-    print!("{table}");
+    let (recording, registry, _) = run_scenario(name, flags)?;
+    if json_format(flags)? {
+        let mut w = vip::obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("scenario");
+        w.string(name.map(String::as_str).unwrap_or_default());
+        w.key("metrics");
+        registry.write_json(&mut w);
+        w.key("trace_events");
+        w.u64(recording.len() as u64);
+        w.key("trace_tracks");
+        w.u64(recording.tracks().len() as u64);
+        w.end_object();
+        println!("{}", w.finish());
+        return Ok(());
+    }
+    print!("{}", registry.text_table());
     println!();
     println!(
         "trace: {} events across {} tracks (use `vipctl trace` to export)",
         recording.len(),
         recording.tracks().len()
     );
+    Ok(())
+}
+
+/// Percentage of `part` in `whole`, 0 when the whole is empty.
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 {
+        0.0
+    } else {
+        100.0 * part / whole
+    }
+}
+
+/// The modelled software seconds of the calls a scenario issued — the
+/// "Time in PM" side of the Table 3 comparison, reconstructed from the
+/// per-mode call counters.
+fn modelled_software_seconds(registry: &Registry, dims: Dims) -> f64 {
+    let model = vip::profiling::CostModel::pentium_m_xm();
+    let intra = CallDescriptor::intra(Connectivity::Con8, ChannelSet::Y, ChannelSet::Y);
+    let inter = CallDescriptor::inter(ChannelSet::Y, ChannelSet::Y);
+    let segment = CallDescriptor::segment(
+        Connectivity::Con4,
+        ChannelSet::Y,
+        ChannelSet::ALPHA.union(ChannelSet::AUX),
+    );
+    registry.counter(keys::INTRA_CALLS) as f64
+        * vip::profiling::software_call_seconds(&intra, dims, &model)
+        + registry.counter(keys::INTER_CALLS) as f64
+            * vip::profiling::software_call_seconds(&inter, dims, &model)
+        + registry.counter(keys::SEGMENT_CALLS) as f64
+            * vip::profiling::software_call_seconds(&segment, dims, &model)
+}
+
+/// `vipctl report` — the cycle-attribution view of one scenario: where
+/// every engine second and every process-unit cycle went, plus the
+/// Amdahl decomposition that connects the measurement to the paper's
+/// ×30 bound and ×5 end-to-end observation.
+fn report(name: Option<&String>, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let (recording, registry, dims) = run_scenario(name, flags)?;
+    let attrib = vip::obs::Attribution::of(&recording);
+
+    // Process-unit cycle buckets — a mutually exclusive partition.
+    let pu_cycles = registry.counter(keys::PU_CYCLES);
+    let buckets = [
+        ("busy", registry.counter(keys::ATTRIB_PU_BUSY_CYCLES)),
+        ("iim_stall", registry.counter(keys::PU_IIM_STALLS)),
+        ("oim_stall", registry.counter(keys::PU_OIM_STALLS)),
+        ("idle", registry.counter(keys::PU_IDLE_CYCLES)),
+    ];
+
+    // ZBT bank duty.
+    let banks: Vec<u64> = (0..6)
+        .map(|b| registry.counter(vip::engine::report::zbt_bank_key(b)))
+        .collect();
+    let bank_total: u64 = banks.iter().sum();
+
+    // Call-second split.
+    let total_s = registry.gauge(keys::BUSY_SECONDS);
+    let split = [
+        ("pci_input", registry.gauge(keys::ATTRIB_PCI_INPUT_SECONDS)),
+        ("pci_output", registry.gauge(keys::ATTRIB_PCI_OUTPUT_SECONDS)),
+        ("host_overhead", registry.gauge(keys::ATTRIB_HOST_OVERHEAD_SECONDS)),
+        ("engine_nonpci", registry.gauge(keys::ATTRIB_ENGINE_NONPCI_SECONDS)),
+    ];
+
+    // Amdahl decomposition: the workload-level offloadable fraction
+    // (§1) against this scenario's measured coprocessor-side speedup.
+    let model = vip::profiling::CostModel::pentium_m_xm();
+    let mix = vip::profiling::segmentation_workload(Dims::new(352, 288));
+    let prof = vip::profiling::profile::profile(&mix, &model);
+    let ideal = vip::profiling::amdahl::ideal_speedup(prof.offloadable_fraction);
+    let software_s = modelled_software_seconds(&registry, dims);
+    let coproc = if total_s > 0.0 { software_s / total_s } else { 0.0 };
+    let overall = vip::profiling::amdahl::amdahl(prof.offloadable_fraction, coproc);
+
+    if json_format(flags)? {
+        let mut w = vip::obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("scenario");
+        w.string(name.map(String::as_str).unwrap_or_default());
+        w.key("dims");
+        w.string(&dims.to_string());
+        w.key("attribution");
+        attrib.write_json(&mut w);
+        w.key("pu_cycles");
+        w.begin_object();
+        w.key("total");
+        w.u64(pu_cycles);
+        for (label, cycles) in &buckets {
+            w.key(label);
+            w.u64(*cycles);
+        }
+        w.end_object();
+        w.key("zbt_bank_words");
+        w.begin_array();
+        for words in &banks {
+            w.u64(*words);
+        }
+        w.end_array();
+        w.key("call_seconds");
+        w.begin_object();
+        w.key("total");
+        w.f64(total_s);
+        for (label, seconds) in &split {
+            w.key(label);
+            w.f64(*seconds);
+        }
+        w.end_object();
+        w.key("amdahl");
+        w.begin_object();
+        w.key("offloadable_fraction");
+        w.f64(prof.offloadable_fraction);
+        w.key("ideal_bound");
+        w.f64(ideal);
+        w.key("coprocessor_speedup");
+        w.f64(coproc);
+        w.key("overall_speedup");
+        w.f64(overall);
+        w.end_object();
+        w.end_object();
+        println!("{}", w.finish());
+        return Ok(());
+    }
+
+    println!(
+        "cycle attribution — {} ({dims})",
+        name.map(String::as_str).unwrap_or_default()
+    );
+    println!();
+    println!("track utilization (virtual-clock window)");
+    print!("{}", attrib.text_table());
+    println!();
+
+    println!("process-unit cycle buckets");
+    println!("{:<12} {:>14} {:>8}", "bucket", "cycles", "share");
+    for (label, cycles) in &buckets {
+        println!(
+            "{:<12} {:>14} {:>7.2}%",
+            label,
+            cycles,
+            pct(*cycles as f64, pu_cycles as f64)
+        );
+    }
+    println!("{:<12} {:>14} {:>7.2}%", "total", pu_cycles, 100.0);
+    println!(
+        "matrix: {} loads, {} shifts",
+        registry.counter(keys::PU_MATRIX_LOADS),
+        registry.counter(keys::PU_MATRIX_SHIFTS)
+    );
+    println!();
+
+    println!("ZBT bank duty (words moved, detailed calls)");
+    for (bank, words) in banks.iter().enumerate() {
+        println!(
+            "bank{bank:<8} {:>14} {:>7.2}%",
+            words,
+            pct(*words as f64, bank_total as f64)
+        );
+    }
+    println!();
+
+    println!("call-second split");
+    for (label, seconds) in &split {
+        println!(
+            "{:<14} {:>12.6} s {:>7.2}%",
+            label,
+            seconds,
+            pct(*seconds, total_s)
+        );
+    }
+    println!("{:<14} {:>12.6} s {:>7.2}%", "total", total_s, 100.0);
+    println!();
+
+    println!("Amdahl decomposition (segmentation workload profile, CIF, Pentium-M model)");
+    println!("offloadable fraction          : {:.4}", prof.offloadable_fraction);
+    println!("ideal coprocessor bound (§1)  : {ideal:.1}x");
+    println!("measured coprocessor speedup  : {coproc:.2}x  (modelled software {software_s:.4} s / engine {total_s:.4} s)");
+    println!("overall Amdahl speedup (§5)   : {overall:.2}x");
+    Ok(())
+}
+
+/// `vipctl trace-diff` — aligns two exported Chrome traces by track and
+/// reports per-track busy-time and event-count deltas, flagging tracks
+/// whose busy time moved beyond the threshold.
+fn trace_diff(
+    a: Option<&String>,
+    b: Option<&String>,
+    flags: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let (Some(a), Some(b)) = (a, b) else {
+        return Err("trace-diff needs two trace files: vipctl trace-diff a.json b.json".into());
+    };
+    if a.starts_with("--") || b.starts_with("--") {
+        return Err("trace-diff needs two trace files before any flags".into());
+    }
+    let threshold: f64 = flags
+        .get("threshold")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(10.0)
+        / 100.0;
+    let doc_a = std::fs::read_to_string(a).map_err(|e| format!("{a}: {e}"))?;
+    let doc_b = std::fs::read_to_string(b).map_err(|e| format!("{b}: {e}"))?;
+    let diff = vip::obs::diff_chrome_traces(&doc_a, &doc_b)?;
+    println!("trace diff: {a} → {b}");
+    print!("{}", diff.text_table(threshold));
     Ok(())
 }

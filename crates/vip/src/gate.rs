@@ -1,0 +1,210 @@
+//! Bench-history regression gate.
+//!
+//! `vipctl bench` appends one JSON line per full run to an append-only
+//! ledger (`BENCH_history.jsonl`, same fields as `BENCH_engine.json`).
+//! This module parses that ledger and decides whether the current run
+//! regressed: `--check` fails when either the fast-forward speedup or
+//! its simulated-cycles-per-second throughput drops more than the
+//! tolerance below the best recorded entry for the same workload and
+//! frame size. The logic is pure (strings in, verdict out) so the gate
+//! is unit-testable without running the benchmark.
+
+use vip_obs::json::JsonValue;
+
+/// One benchmark ledger entry — the fields the gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Workload label, e.g. `intra_sobel+inter_absdiff`.
+    pub workload: String,
+    /// Frame size label, e.g. `352x288`.
+    pub dims: String,
+    /// Fast-forward over cycle-stepped throughput ratio.
+    pub speedup: f64,
+    /// Fast-forward simulated cycles per wall second.
+    pub fast_cycles_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Extracts the gate fields from one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped member when the
+    /// line is not a benchmark object.
+    pub fn parse(line: &str) -> Result<BenchRecord, String> {
+        let value = JsonValue::parse(line)?;
+        let string = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string member `{key}`"))
+        };
+        let speedup = value
+            .get("speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing number member `speedup`")?;
+        let fast_cycles_per_sec = value
+            .get("modes")
+            .and_then(|m| m.get("fast_forward"))
+            .and_then(|m| m.get("sim_cycles_per_sec"))
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing number member `modes.fast_forward.sim_cycles_per_sec`")?;
+        Ok(BenchRecord {
+            workload: string("workload")?,
+            dims: string("dims")?,
+            speedup,
+            fast_cycles_per_sec,
+        })
+    }
+}
+
+/// Parses a whole ledger: one JSON object per line, blank lines skipped.
+///
+/// # Errors
+///
+/// Returns the first malformed line's number and parse error.
+pub fn parse_history(text: &str) -> Result<Vec<BenchRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            BenchRecord::parse(line).map_err(|e| format!("history line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Gates `current` against the best matching history entry.
+///
+/// Entries are compared only within the same `(workload, dims)` pair;
+/// with no matching prior entry the gate passes vacuously (a `--quick`
+/// run's smoke dims never match the tracked full-size ledger). Both the
+/// speedup and the fast-forward throughput must stay within `tolerance`
+/// (e.g. `0.10`) of the best recorded value.
+///
+/// # Errors
+///
+/// Returns a description of the regression when the gate fails.
+pub fn check_current(
+    history: &[BenchRecord],
+    current: &BenchRecord,
+    tolerance: f64,
+) -> Result<String, String> {
+    let matching: Vec<&BenchRecord> = history
+        .iter()
+        .filter(|r| r.workload == current.workload && r.dims == current.dims)
+        .collect();
+    if matching.is_empty() {
+        return Ok(format!(
+            "no history for {} @ {}; gate passes vacuously",
+            current.workload, current.dims
+        ));
+    }
+    let best_speedup = matching.iter().map(|r| r.speedup).fold(0.0, f64::max);
+    let best_throughput = matching
+        .iter()
+        .map(|r| r.fast_cycles_per_sec)
+        .fold(0.0, f64::max);
+    let floor = 1.0 - tolerance;
+    if current.speedup < floor * best_speedup {
+        return Err(format!(
+            "speedup regression: {:.2}x is {:.1} % below the best recorded {:.2}x \
+             (tolerance {:.0} %, {} entries)",
+            current.speedup,
+            100.0 * (1.0 - current.speedup / best_speedup),
+            best_speedup,
+            100.0 * tolerance,
+            matching.len()
+        ));
+    }
+    if current.fast_cycles_per_sec < floor * best_throughput {
+        return Err(format!(
+            "throughput regression: {:.0} sim-cycles/s is {:.1} % below the best recorded \
+             {:.0} (tolerance {:.0} %, {} entries)",
+            current.fast_cycles_per_sec,
+            100.0 * (1.0 - current.fast_cycles_per_sec / best_throughput),
+            best_throughput,
+            100.0 * tolerance,
+            matching.len()
+        ));
+    }
+    Ok(format!(
+        "within {:.0} % of best ({:.2}x speedup, {:.0} sim-cycles/s over {} entries)",
+        100.0 * tolerance,
+        best_speedup,
+        best_throughput,
+        matching.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(speedup: f64, throughput: f64) -> String {
+        format!(
+            "{{\"benchmark\":\"engine.step_mode\",\"workload\":\"intra_sobel+inter_absdiff\",\
+             \"dims\":\"352x288\",\"reps\":5,\"modes\":{{\"cycle_stepped\":{{\
+             \"sim_cycles_per_sec\":1.0e6}},\"fast_forward\":{{\"cycles_per_rep\":100,\
+             \"sim_cycles_per_sec\":{throughput}}}}},\"speedup\":{speedup},\
+             \"bit_identical\":true}}"
+        )
+    }
+
+    fn record(speedup: f64, throughput: f64) -> BenchRecord {
+        BenchRecord {
+            workload: "intra_sobel+inter_absdiff".to_string(),
+            dims: "352x288".to_string(),
+            speedup,
+            fast_cycles_per_sec: throughput,
+        }
+    }
+
+    #[test]
+    fn parses_ledger_lines() {
+        let text = format!("{}\n\n{}\n", entry(3.7, 4.0e6), entry(3.9, 4.2e6));
+        let history = parse_history(&text).unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0], record(3.7, 4.0e6));
+        assert_eq!(history[1].speedup, 3.9);
+    }
+
+    #[test]
+    fn malformed_line_is_located() {
+        let text = format!("{}\nnot json\n", entry(3.7, 4.0e6));
+        let err = parse_history(&text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = BenchRecord::parse("{\"workload\":\"w\"}").unwrap_err();
+        assert!(err.contains("dims") || err.contains("speedup"), "{err}");
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let history = [record(4.0, 5.0e6)];
+        // > 10 % speedup drop.
+        let err = check_current(&history, &record(3.5, 5.0e6), 0.10).unwrap_err();
+        assert!(err.contains("speedup regression"), "{err}");
+        // > 10 % throughput drop with the speedup intact.
+        let err = check_current(&history, &record(4.0, 4.0e6), 0.10).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let history = [record(4.0, 5.0e6), record(3.2, 4.1e6)];
+        let msg = check_current(&history, &record(3.7, 4.6e6), 0.10).unwrap();
+        assert!(msg.contains("within 10 %"), "{msg}");
+        // Improvements always pass.
+        check_current(&history, &record(4.5, 6.0e6), 0.10).unwrap();
+    }
+
+    #[test]
+    fn unmatched_workload_or_dims_is_vacuous() {
+        let history = [record(4.0, 5.0e6)];
+        let mut quick = record(0.5, 1.0e3);
+        quick.dims = "96x72".to_string();
+        let msg = check_current(&history, &quick, 0.10).unwrap();
+        assert!(msg.contains("vacuously"), "{msg}");
+        assert!(check_current(&[], &record(1.0, 1.0), 0.10).is_ok());
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`par`] (`vip-par`) — zero-dependency scoped-thread work pool with
 //!   deterministic result ordering, backing the parallel sweeps in the
 //!   benches, the GME batch runner and the `vip-check` proofs.
+//! * [`gate`] — the bench-history regression gate behind
+//!   `vipctl bench --check`: parses the append-only
+//!   `BENCH_history.jsonl` ledger and fails runs that regress more than
+//!   the tolerance below the best recorded entry.
 //!
 //! ## Quick start
 //!
@@ -48,6 +52,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod gate;
 
 pub use vip_check as check;
 pub use vip_core as core;

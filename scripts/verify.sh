@@ -15,8 +15,8 @@ cargo test -q --workspace
 echo "==> vip-check (static schedule/hazard verifier + workspace lint)"
 cargo run --release -q -p vip-check -- .
 
-echo "==> vipctl bench --quick (fast-forward equivalence + speedup smoke)"
-cargo run --release -q -p vip --bin vipctl -- bench --quick
+echo "==> vipctl bench --quick --check (fast-forward equivalence + regression gate)"
+cargo run --release -q -p vip --bin vipctl -- bench --quick --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --all-targets --workspace -- -D warnings
